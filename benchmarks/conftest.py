@@ -1,0 +1,70 @@
+"""Shared machinery for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures. The
+underlying simulation runs are expensive, so a session-scoped
+:class:`RunCache` runs each experiment once (at reduced scale — the
+shapes are scale-invariant, see DESIGN.md §4) and the benchmarks time
+the regeneration/analysis step against the cached raw data. Every
+benchmark also writes its rendered output (measured next to the paper's
+reported values) to ``benchmarks/output/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.experiments import (
+    BASELINE_EXPERIMENTS,
+    DDOS_EXPERIMENTS,
+    run_baseline,
+    run_ddos,
+)
+
+# Reduced-scale population sizes (paper: ~9000 probes).
+BASELINE_PROBES = 600
+DDOS_PROBES = 400
+SEED = 42
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+class RunCache:
+    """Runs each experiment at most once per pytest session."""
+
+    def __init__(self) -> None:
+        self._baselines = {}
+        self._ddos = {}
+
+    def baseline(self, key: str):
+        if key not in self._baselines:
+            self._baselines[key] = run_baseline(
+                BASELINE_EXPERIMENTS[key], probe_count=BASELINE_PROBES, seed=SEED
+            )
+        return self._baselines[key]
+
+    def ddos(self, key: str):
+        if key not in self._ddos:
+            self._ddos[key] = run_ddos(
+                DDOS_EXPERIMENTS[key], probe_count=DDOS_PROBES, seed=SEED
+            )
+        return self._ddos[key]
+
+
+@pytest.fixture(scope="session")
+def runs() -> RunCache:
+    return RunCache()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def emit(output_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print the rendered table/figure and persist it as an artifact."""
+    print()
+    print(text)
+    (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

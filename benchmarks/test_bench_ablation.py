@@ -1,0 +1,138 @@
+"""Ablations of the paper's defense mechanisms (DESIGN.md §5).
+
+The paper attributes DDoS resilience to caching and retries acting
+together (§5.4: "caching and retries are synergistic"). These benches
+strip each mechanism from the Experiment-H scenario (90% loss, 30-minute
+TTL) and measure the marginal damage, plus the cache-fragmentation
+dependence on public-pool fan-out.
+"""
+
+from conftest import SEED, emit
+
+from repro.analysis.tables import render_kv_table, render_matrix
+from repro.clients.population import PopulationConfig
+from repro.clients.publicdns import default_public_services
+from repro.core.experiments import BASELINE_EXPERIMENTS, DDOS_EXPERIMENTS
+from repro.core.experiments import run_baseline, run_ddos
+
+ABLATION_PROBES = 250
+
+
+def run_h_variant(**population_kwargs):
+    population = PopulationConfig(
+        probe_count=ABLATION_PROBES, **population_kwargs
+    )
+    return run_ddos(
+        DDOS_EXPERIMENTS["H"], probe_count=ABLATION_PROBES,
+        seed=SEED, population=population,
+    )
+
+
+def test_bench_ablation_defenses(benchmark, output_dir):
+    variants = {
+        "full (caching + retries)": run_h_variant(),
+        "no retries": run_h_variant(disable_retries=True),
+        "no caching": run_h_variant(disable_caching=True),
+        "neither": run_h_variant(disable_retries=True, disable_caching=True),
+        "no serve-stale": run_h_variant(disable_serve_stale=True),
+    }
+
+    def regenerate():
+        rows = [
+            (
+                name,
+                [
+                    f"{result.failure_fraction_before_attack():.3f}",
+                    f"{result.failure_fraction_during_attack():.3f}",
+                ],
+            )
+            for name, result in variants.items()
+        ]
+        return render_matrix(
+            "Ablation: Experiment H (90% loss) with defenses removed",
+            ["fail-pre", "fail-ddos"],
+            rows,
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "ablation_defenses", text)
+
+    full = variants["full (caching + retries)"].failure_fraction_during_attack()
+    no_retries = variants["no retries"].failure_fraction_during_attack()
+    no_caching = variants["no caching"].failure_fraction_during_attack()
+    neither = variants["neither"].failure_fraction_during_attack()
+
+    # Each mechanism contributes; together they dominate.
+    assert no_retries > full + 0.05, "retries contribute materially"
+    assert no_caching > full + 0.03, "caching contributes materially"
+    assert neither > max(no_retries, no_caching) - 0.02
+    # With neither defense, ~90% loss means ~90% failures.
+    assert neither > 0.7
+
+
+def test_bench_ablation_fragmentation(benchmark, output_dir):
+    def run_with_fanout(backend_count):
+        services = default_public_services()
+        for service in services:
+            if service.google_like:
+                service.backend_count = backend_count
+        population = PopulationConfig(
+            probe_count=300, public_services=services
+        )
+        return run_baseline(
+            BASELINE_EXPERIMENTS["1800"],
+            probe_count=300,
+            seed=SEED,
+            population=population,
+        )
+
+    results = {count: run_with_fanout(count) for count in (1, 4, 12)}
+
+    def regenerate():
+        rows = [
+            (f"{count} backends", f"{results[count].miss_rate:.3f}")
+            for count in results
+        ]
+        return render_kv_table(
+            "Ablation: cache-miss rate vs Google-pool fan-out (TTL 1800)",
+            rows,
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "ablation_fragmentation", text)
+
+    # More independent backend caches -> more fragmentation -> more misses.
+    assert results[1].miss_rate < results[4].miss_rate < results[12].miss_rate
+
+
+def test_bench_ablation_ttl(benchmark, output_dir):
+    from repro.core.experiments import DDoSSpec
+
+    def run_with_ttl(ttl):
+        spec = DDoSSpec(
+            key=f"ttl-{ttl}", ttl=ttl, ddos_start_min=60, ddos_duration_min=60,
+            queries_before=6, total_duration_min=130, probe_interval_min=10,
+            loss_fraction=0.90, servers="both",
+        )
+        return run_ddos(spec, probe_count=ABLATION_PROBES, seed=SEED)
+
+    results = {ttl: run_with_ttl(ttl) for ttl in (60, 1800, 3600)}
+
+    def regenerate():
+        rows = [
+            (f"TTL {ttl}s", f"{results[ttl].failure_fraction_during_attack():.3f}")
+            for ttl in results
+        ]
+        return render_kv_table(
+            "Ablation: failure rate vs zone TTL at 90% loss (paper §8)",
+            rows,
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "ablation_ttl", text)
+
+    # Longer TTLs buy resilience (the paper's CDN recommendation).
+    assert (
+        results[3600].failure_fraction_during_attack()
+        < results[60].failure_fraction_during_attack() - 0.1
+    )

@@ -1,0 +1,57 @@
+"""Extension bench — anycast catchments under partial-site attack (§8).
+
+The paper explains the 2015/2016 root events' uneven outcomes with IP
+anycast: catchments homed on attacked sites suffered, others did not,
+and withdrawing attacked sites re-homes clients. This bench quantifies
+those mechanics on the simulator.
+"""
+
+from conftest import SEED, emit
+
+from repro.analysis.tables import render_matrix
+from repro.core.experiments.anycast_study import AnycastSpec, run_anycast_study
+
+PROBES = 250
+
+
+def test_bench_extension_anycast(benchmark, output_dir):
+    plain = run_anycast_study(probe_count=PROBES, seed=SEED)
+    withdrawn = run_anycast_study(
+        AnycastSpec(withdraw_after_min=20), probe_count=PROBES, seed=SEED
+    )
+
+    def regenerate():
+        rows = [
+            (
+                "no mitigation",
+                [
+                    f"{plain.failure_during_attack('attacked'):.3f}",
+                    f"{plain.failure_during_attack('healthy'):.3f}",
+                ],
+            ),
+            (
+                "withdraw attacked sites at +20min",
+                [
+                    f"{withdrawn.failure_during_attack('attacked'):.3f}",
+                    f"{withdrawn.failure_during_attack('healthy'):.3f}",
+                ],
+            ),
+        ]
+        return render_matrix(
+            "Extension: anycast (6 sites, 3 attacked at 90% loss), "
+            "failures by pre-attack catchment",
+            ["attacked", "healthy"],
+            rows,
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "extension_anycast", text)
+
+    # Uneven outcomes: the paper's root-event signature.
+    assert plain.failure_during_attack("attacked") > 0.15
+    assert plain.failure_during_attack("healthy") < 0.1
+    # Withdrawal rescues the attacked catchment.
+    assert (
+        withdrawn.failure_during_attack("attacked")
+        < plain.failure_during_attack("attacked") - 0.08
+    )

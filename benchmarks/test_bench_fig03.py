@@ -1,0 +1,52 @@
+"""Figure 3 — warm-cache answer classification per TTL experiment."""
+
+from conftest import emit
+
+from repro.analysis.tables import render_matrix
+
+# The miss percentages printed above each bar in the paper's Figure 3.
+PAPER_MISS = {
+    "60": 0.000,
+    "1800": 0.326,
+    "3600": 0.329,
+    "86400": 0.309,
+    "3600-10m": 0.285,
+}
+
+
+def test_bench_fig03(benchmark, runs, output_dir):
+    results = {key: runs.baseline(key) for key in PAPER_MISS}
+
+    def regenerate():
+        columns = list(results)
+        tables = {key: result.table2 for key, result in results.items()}
+        rows = [
+            (label, [getattr(tables[key], attr) for key in columns])
+            for label, attr in (
+                ("AA", "aa"),
+                ("CC", "cc"),
+                ("AC", "ac"),
+                ("CA", "ca"),
+            )
+        ]
+        rows.append(
+            ("miss %", [f"{tables[key].miss_rate:.1%}" for key in columns])
+        )
+        rows.append(
+            ("paper %", [f"{PAPER_MISS[key]:.1%}" for key in columns])
+        )
+        return render_matrix(
+            "Figure 3: warm-cache answer classes per experiment",
+            columns,
+            rows,
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "fig03", text)
+
+    # Shape: TTL 60 all-authoritative; longer TTLs ~30% misses, CC biggest.
+    assert results["60"].table2.aa == results["60"].table2.subsequent
+    for key in ("1800", "3600", "86400", "3600-10m"):
+        table = results[key].table2
+        assert table.cc > table.aa or key == "1800"
+        assert abs(table.miss_rate - PAPER_MISS[key]) < 0.10

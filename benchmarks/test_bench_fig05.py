@@ -1,0 +1,48 @@
+"""Figure 5 — per-recursive query counts for the nl DS record at the roots."""
+
+from conftest import SEED, emit
+
+from repro.workloads.ditl import (
+    DitlConfig,
+    fraction_at_least,
+    generate_ditl_counts,
+    per_letter_cdf,
+)
+
+# Paper §4.2: ~87% of recursives send one query per day; F-Root sees
+# ~5% sending >=5, H-Root >10%.
+PAPER_SINGLE_SHARE = 0.87
+
+
+def test_bench_fig05(benchmark, output_dir):
+    counts = generate_ditl_counts(DitlConfig(recursive_count=20000, seed=SEED))
+
+    def regenerate():
+        cdfs = per_letter_cdf(counts, max_queries=30)
+        lines = [
+            "Figure 5: CDF of queries per recursive for nl DS (24 h)",
+            f"{'n':>4} {'F-Root':>8} {'H-Root':>8} {'ALL':>8}",
+        ]
+        for n in (1, 2, 5, 10, 20, 30):
+            lines.append(
+                f"{n:>4} {cdfs['F'][n - 1]:>8.3f} {cdfs['H'][n - 1]:>8.3f} "
+                f"{cdfs['ALL'][n - 1]:>8.3f}"
+            )
+        return "\n".join(lines), cdfs
+
+    text, cdfs = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    singles = cdfs["ALL"][0]
+    f_heavy = fraction_at_least(counts, "F", 5)
+    h_heavy = fraction_at_least(counts, "H", 5)
+    emit(
+        output_dir,
+        "fig05",
+        text
+        + f"\n\nsingle-query share: measured {singles:.3f} vs paper {PAPER_SINGLE_SHARE:.2f}"
+        + f"\nF-Root >=5 queries: {f_heavy:.3f} (paper ~0.05); H-Root: {h_heavy:.3f} (paper >0.10)",
+    )
+
+    assert abs(singles - PAPER_SINGLE_SHARE) < 0.07
+    assert h_heavy > f_heavy  # H-Root "worst", F-Root "friendliest"
+    max_total = max(sum(per.values()) for per in counts.values())
+    assert max_total > 1000  # the long tail the paper reports

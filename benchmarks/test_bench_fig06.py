@@ -1,0 +1,60 @@
+"""Figure 6 — answers over time during complete authoritative failure."""
+
+from conftest import emit
+
+from repro.analysis.figures import render_timeseries_table
+
+
+def attack_rounds(result):
+    spec = result.spec
+    start, end = spec.attack_window
+    return [
+        index
+        for index in range(int(spec.total_duration_min))
+        if start <= index * spec.round_seconds < end
+    ]
+
+
+def test_bench_fig06(benchmark, runs, output_dir):
+    results = {key: runs.ddos(key) for key in ("A", "B", "C")}
+
+    def regenerate():
+        sections = []
+        for key, result in results.items():
+            sections.append(
+                render_timeseries_table(
+                    f"Figure 6{'abc'[ord(key) - ord('A')]}: Experiment {key} "
+                    f"(TTL {result.spec.ttl}s, 100% loss)",
+                    result.outcomes_by_round(),
+                    ["ok", "servfail", "no_answer"],
+                    attack_rounds=attack_rounds(result),
+                )
+            )
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "fig06", text)
+
+    # Experiment A: cache-only window serves 35-70%, near-zero after expiry.
+    series_a = results["A"].outcomes_by_round()
+    cache_only = series_a[3]
+    ok = cache_only["ok"] / sum(cache_only.values())
+    assert 0.25 < ok < 0.75
+    expired = series_a[9]
+    assert expired["ok"] / sum(expired.values()) < 0.1
+
+    # Experiment B: served fraction decays through the attack as caches
+    # (warmed at different times) expire.
+    series_b = results["B"].outcomes_by_round()
+    early_attack = series_b[6]["ok"] / sum(series_b[6].values())
+    late_attack = series_b[11]["ok"] / sum(series_b[11].values())
+    assert late_attack < early_attack
+    # Recovery after the attack ends.
+    recovered = series_b[14]["ok"] / sum(series_b[14].values())
+    assert recovered > 0.8
+
+    # Experiment C (TTL 1800): by 30 minutes into the attack all caches
+    # have expired; only a small residue (serve-stale) remains.
+    series_c = results["C"].outcomes_by_round()
+    deep_attack = series_c[10]["ok"] / sum(series_c[10].values())
+    assert deep_attack < 0.2

@@ -1,0 +1,35 @@
+"""Figure 7 — answer-class timeseries for Experiment B (fragmented
+caches keep some CC alive mid-attack; CA grows from serve-stale)."""
+
+from conftest import emit
+
+from repro.analysis.figures import render_timeseries_table
+
+
+def test_bench_fig07(benchmark, runs, output_dir):
+    result = runs.ddos("B")
+
+    def regenerate():
+        return render_timeseries_table(
+            "Figure 7: Experiment B answer classes per round",
+            result.class_timeseries(),
+            ["AA", "CC", "AC", "CA"],
+            attack_rounds=list(range(6, 12)),
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "fig07", text)
+
+    series = result.class_timeseries()
+    # Before the attack: a healthy AA/CC/AC mix.
+    assert series[3]["AA"] + series[3]["AC"] > 0
+    assert series[3]["CC"] > 0
+    # During the attack (rounds 6-11): no fresh AA answers get through a
+    # 100% drop; survivors are cache hits (CC), including hits on caches
+    # filled between rounds 10 and 50 minutes (the paper's fragmented-
+    # cache observation), plus stale CA answers.
+    mid_attack = series[8]
+    assert mid_attack["AA"] + mid_attack["AC"] == 0
+    assert mid_attack["CC"] > 0
+    total_ca_during = sum(series[r].get("CA", 0) for r in range(6, 12))
+    assert total_ca_during > 0

@@ -1,0 +1,45 @@
+"""Figure 8 — answers over time during partial (50/75/90%) attacks."""
+
+from conftest import emit
+
+from repro.analysis.figures import render_timeseries_table
+
+# Paper failure levels during the attack window.
+PAPER_FAILURES = {"E": 0.085, "F": 0.190, "H": 0.403, "I": 0.630}
+
+
+def test_bench_fig08(benchmark, runs, output_dir):
+    results = {key: runs.ddos(key) for key in ("E", "F", "H", "I")}
+
+    def regenerate():
+        sections = []
+        for label, key in zip("abcd", results):
+            result = results[key]
+            sections.append(
+                render_timeseries_table(
+                    f"Figure 8{label}: Experiment {key} "
+                    f"({result.spec.loss_fraction:.0%} loss, TTL {result.spec.ttl}s)",
+                    result.outcomes_by_round(),
+                    ["ok", "servfail", "no_answer"],
+                    attack_rounds=list(range(6, 12)),
+                )
+            )
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    comparison = "\n".join(
+        f"  {key}: measured {results[key].failure_fraction_during_attack():.3f}"
+        f" vs paper {paper:.3f}"
+        for key, paper in PAPER_FAILURES.items()
+    )
+    emit(output_dir, "fig08", text + "\n\nattack-window failures:\n" + comparison)
+
+    for key, paper in PAPER_FAILURES.items():
+        measured = results[key].failure_fraction_during_attack()
+        assert abs(measured - paper) < 0.15, f"{key}: {measured} vs {paper}"
+    # Failure level is flat across the hour even when the attack outlives
+    # the cache TTL (caching x retries synergy, Experiment H).
+    series_h = results["H"].outcomes_by_round()
+    first_half = series_h[7]["ok"] / sum(series_h[7].values())
+    second_half = series_h[10]["ok"] / sum(series_h[10].values())
+    assert abs(first_half - second_half) < 0.25

@@ -1,0 +1,59 @@
+"""Figure 9 — latency quantiles during partial attacks.
+
+Paper shape: medians stay low while tails stretch with attack
+intensity; killing the cache (Experiment I, TTL 60) triples the median
+(~390 ms with a 30-minute TTL vs ~1300 ms without, §5.5).
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import render_series
+
+
+def test_bench_fig09(benchmark, runs, output_dir):
+    results = {key: runs.ddos(key) for key in ("E", "F", "H", "I")}
+
+    def regenerate():
+        sections = []
+        for label, key in zip("abcd", results):
+            result = results[key]
+            rows = [
+                (
+                    int(row.round_index * 10),
+                    round(row.median_ms, 1),
+                    round(row.mean_ms, 1),
+                    round(row.p75_ms, 1),
+                    round(row.p90_ms, 1),
+                )
+                for row in result.latency_series()
+            ]
+            sections.append(
+                render_series(
+                    f"Figure 9{label}: Experiment {key} latency (ms), "
+                    "attack minutes 60-120",
+                    rows,
+                    ["minute", "median", "mean", "p75", "p90"],
+                )
+            )
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "fig09", text)
+
+    def series_of(key):
+        return {row.round_index: row for row in results[key].latency_series()}
+
+    # Medians barely move at 50% loss; tails stretch.
+    e = series_of("E")
+    assert e[8].median_ms < e[1].median_ms * 3
+    assert e[8].p90_ms > e[1].p90_ms * 2
+
+    # More loss, longer tails: F and H worse than E.
+    f = series_of("F")
+    h = series_of("H")
+    assert f[8].p90_ms > e[8].p90_ms
+    assert h[8].p90_ms >= f[8].p90_ms * 0.8
+
+    # No cache (I): median latency during attack far above H's.
+    i = series_of("I")
+    assert i[8].median_ms > h[8].median_ms * 3

@@ -1,0 +1,51 @@
+"""Figure 10 — offered load at the authoritatives by query kind.
+
+Paper multipliers over pre-attack load: 3.5x (F, 75% loss), 8.2x (H,
+90%), 8.1x (I, 90% with minimal TTL); caching shaves ~40% off the
+offered load between H and I.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import render_timeseries_table
+
+PAPER_AMPLIFICATION = {"F": 3.5, "H": 8.2, "I": 8.1}
+
+
+def test_bench_fig10(benchmark, runs, output_dir):
+    results = {key: runs.ddos(key) for key in ("F", "H", "I")}
+
+    def regenerate():
+        sections = []
+        for label, key in zip("abc", results):
+            result = results[key]
+            sections.append(
+                render_timeseries_table(
+                    f"Figure 10{label}: Experiment {key} offered queries by kind",
+                    result.authoritative_load(),
+                    ["NS", "A-for-NS", "AAAA-for-NS", "AAAA-for-PID"],
+                    attack_rounds=list(range(6, 12)),
+                )
+            )
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    comparison = "\n".join(
+        f"  {key}: measured {results[key].amplification():.1f}x"
+        f" vs paper {paper:.1f}x"
+        for key, paper in PAPER_AMPLIFICATION.items()
+    )
+    emit(output_dir, "fig10", text + "\n\noffered-load multipliers:\n" + comparison)
+
+    amp = {key: results[key].amplification() for key in results}
+    # Within a factor-two band of the paper, and ordered F < H.
+    for key, paper in PAPER_AMPLIFICATION.items():
+        assert paper / 2.5 < amp[key] < paper * 2.5, f"{key}: {amp[key]}"
+    assert amp["F"] < amp["H"]
+
+    # All four query kinds appear during the attack (negative-cached
+    # AAAA-for-NS keeps coming back, §6.1).
+    load_h = results["H"].authoritative_load()
+    mid = load_h[8]
+    for kind in ("NS", "A-for-NS", "AAAA-for-NS", "AAAA-for-PID"):
+        assert mid.get(kind, 0) > 0, f"missing {kind} during attack"

@@ -1,0 +1,44 @@
+"""Figure 11 — per-probe Rn fan-out and query amplification (Experiment I).
+
+Paper: the median number of exit recursives per probe doubles (1 -> 2),
+the 90th percentile doubles (2 -> 4), and per-probe query counts grow
+~3x at the median and >6x at the 90th percentile during the attack.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import render_series
+
+
+def test_bench_fig11(benchmark, runs, output_dir):
+    result = runs.ddos("I")
+
+    def regenerate():
+        rows = [
+            (
+                int(row.round_index * 10),
+                row.rn_median,
+                row.rn_p90,
+                row.rn_max,
+                row.queries_median,
+                row.queries_p90,
+                row.queries_max,
+            )
+            for row in result.per_probe()
+        ]
+        return render_series(
+            "Figure 11: per-probe Rn and AAAA-for-PID queries (Experiment I)",
+            rows,
+            ["minute", "Rn-med", "Rn-p90", "Rn-max", "q-med", "q-p90", "q-max"],
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "fig11", text)
+
+    rows = {row.round_index: row for row in result.per_probe()}
+    normal = rows[3]
+    attacked = rows[8]
+    assert attacked.queries_median >= normal.queries_median * 2
+    assert attacked.queries_p90 >= normal.queries_p90 * 2
+    assert attacked.rn_p90 >= normal.rn_p90
+    assert attacked.queries_max > normal.queries_max

@@ -1,0 +1,50 @@
+"""Figure 13 — answer-class mix over time for each baseline TTL.
+
+Paper shape: at TTL 60 every round is all-AA; at longer TTLs AC stays
+roughly constant across rounds (persistent fragmentation) while AA/CC
+alternate with cache expiry.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import render_timeseries_table
+
+
+def test_bench_fig13(benchmark, runs, output_dir):
+    keys = ("60", "1800", "3600", "86400", "3600-10m")
+    results = {key: runs.baseline(key) for key in keys}
+
+    def regenerate():
+        sections = []
+        for label, key in zip("abcde", keys):
+            result = results[key]
+            sections.append(
+                render_timeseries_table(
+                    f"Figure 13{label}: TTL {key} answer classes per round",
+                    result.class_timeseries(),
+                    ["AA", "AC", "CC", "CA"],
+                    round_minutes=result.spec.probe_interval / 60.0,
+                )
+            )
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "fig13", text)
+
+    # TTL 60: all AA in every post-warmup round.
+    for bucket in results["60"].class_timeseries().values():
+        assert bucket["CC"] == 0
+        assert bucket["AC"] == 0
+
+    # TTL 3600 (20-min rounds): AC roughly constant across rounds.
+    series = results["3600"].class_timeseries()
+    ac_counts = [series[r]["AC"] for r in sorted(series) if r >= 1]
+    assert ac_counts
+    assert max(ac_counts) < 3 * max(1, min(ac_counts))
+
+    # TTL 86400: effectively no AA after warm-up (nothing expires).
+    series_day = results["86400"].class_timeseries()
+    late_rounds = [series_day[r] for r in sorted(series_day) if r >= 2]
+    assert sum(bucket["AA"] for bucket in late_rounds) < sum(
+        bucket["CC"] for bucket in late_rounds
+    ) * 0.2

@@ -1,0 +1,45 @@
+"""Figure 14 — Experiments D and G (Appendix D): answers over time.
+
+Paper: with 50% loss at a single nameserver (D) clients notice nothing;
+with 75% loss and a 300 s TTL (G) ~72% still get answers.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import render_timeseries_table
+
+
+def test_bench_fig14(benchmark, runs, output_dir):
+    results = {key: runs.ddos(key) for key in ("D", "G")}
+
+    def regenerate():
+        sections = []
+        for label, key in zip("ab", results):
+            result = results[key]
+            which = "one NS" if result.spec.servers == "one" else "both NSes"
+            sections.append(
+                render_timeseries_table(
+                    f"Figure 14{label}: Experiment {key} "
+                    f"({result.spec.loss_fraction:.0%} loss on {which}, "
+                    f"TTL {result.spec.ttl}s)",
+                    result.outcomes_by_round(),
+                    ["ok", "servfail", "no_answer"],
+                    attack_rounds=list(range(6, 12)),
+                )
+            )
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "fig14", text)
+
+    # D: no significant change in answered queries.
+    d = results["D"]
+    assert (
+        d.failure_fraction_during_attack()
+        < d.failure_fraction_before_attack() + 0.05
+    )
+
+    # G: the large majority (~72% in the paper) still obtain answers.
+    g = results["G"]
+    success = 1.0 - g.failure_fraction_during_attack()
+    assert 0.55 < success < 0.95

@@ -1,0 +1,51 @@
+"""Figure 15 — Experiments D and G (Appendix D): latency quantiles.
+
+Paper: D (50% on one NS) leaves latency untouched for most users; G
+(75% loss, 300 s TTL) shows a visible latency increase.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import render_series
+
+
+def test_bench_fig15(benchmark, runs, output_dir):
+    results = {key: runs.ddos(key) for key in ("D", "G")}
+
+    def regenerate():
+        sections = []
+        for label, key in zip("ab", results):
+            result = results[key]
+            rows = [
+                (
+                    int(row.round_index * 10),
+                    round(row.median_ms, 1),
+                    round(row.mean_ms, 1),
+                    round(row.p75_ms, 1),
+                    round(row.p90_ms, 1),
+                )
+                for row in result.latency_series()
+            ]
+            sections.append(
+                render_series(
+                    f"Figure 15{label}: Experiment {key} latency (ms)",
+                    rows,
+                    ["minute", "median", "mean", "p75", "p90"],
+                )
+            )
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "fig15", text)
+
+    def series_of(key):
+        return {row.round_index: row for row in results[key].latency_series()}
+
+    d = series_of("D")
+    # One-NS attack: median and p90 stay close to pre-attack levels.
+    assert d[8].median_ms < d[1].median_ms * 2.5
+    assert d[8].p90_ms < max(d[1].p90_ms * 4, 1200.0)
+
+    g = series_of("G")
+    # G: clear tail increase during the attack.
+    assert g[8].p90_ms > g[1].p90_ms * 2

@@ -1,0 +1,65 @@
+"""Figure 16 — BIND vs Unbound query counts, normal vs all-servers-dead.
+
+Paper (Appendix E): BIND needs 3 queries normally and ~12 when the
+target zone is unreachable (it re-asks the parents); Unbound needs 5-6
+normally and ~46 under failure, most of them chasing the nameservers'
+nonexistent AAAA records.
+"""
+
+from conftest import SEED, emit
+
+from repro.analysis.tables import render_matrix
+from repro.core.experiments.software import run_software_study
+
+PAPER_TOTALS = {
+    ("bind", False): 3,
+    ("bind", True): 12,
+    ("unbound", False): 5,
+    ("unbound", True): 46,
+}
+
+
+def test_bench_fig16(benchmark, output_dir):
+    results = {
+        (software, attack): run_software_study(software, attack, seed=SEED)
+        for software in ("bind", "unbound")
+        for attack in (False, True)
+    }
+
+    def regenerate():
+        rows = []
+        for (software, attack), result in results.items():
+            condition = "DDoS" if attack else "normal"
+            rows.append(
+                (
+                    f"{software} ({condition})",
+                    [
+                        result.queries_root,
+                        result.queries_tld,
+                        result.queries_target,
+                        result.total,
+                        PAPER_TOTALS[(software, attack)],
+                    ],
+                )
+            )
+        return render_matrix(
+            "Figure 16: queries per resolution by zone",
+            ["root", "net", "cachetest.net", "total", "paper-total"],
+            rows,
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "fig16", text)
+
+    assert results[("bind", False)].total == 3
+    assert 8 <= results[("bind", True)].total <= 20
+    assert 5 <= results[("unbound", False)].total <= 12
+    assert 30 <= results[("unbound", True)].total <= 80
+    # Orderings the paper stresses.
+    assert results[("unbound", True)].total > results[("bind", True)].total
+    assert (
+        results[("bind", True)].queries_root
+        + results[("bind", True)].queries_tld
+        > results[("bind", False)].queries_root
+        + results[("bind", False)].queries_tld
+    )

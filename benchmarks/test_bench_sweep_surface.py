@@ -1,0 +1,63 @@
+"""Extension bench — the full loss × TTL resilience surface.
+
+Generalizes Table 4's sampled points into the surface an operator would
+consult. The paper's sampled cells anchor the assertions: mild attacks
+are survivable at any TTL, heavy attacks require caches, and the TTL
+gradient at 90% loss matches Experiments H vs I.
+"""
+
+from conftest import SEED, emit
+
+from repro.analysis.tables import render_matrix
+from repro.core.experiments.sweep import run_sweep
+
+PROBES = 150
+
+
+def test_bench_sweep_surface(benchmark, output_dir):
+    sweep = run_sweep(
+        losses=(0.5, 0.75, 0.9),
+        ttls=(60, 300, 1800),
+        probe_count=PROBES,
+        seed=SEED,
+        attack_start_min=40.0,
+        attack_duration_min=40.0,
+    )
+
+    def regenerate():
+        rows = [
+            (
+                f"TTL {ttl}",
+                [f"{value:.1%}" for value in row],
+            )
+            for ttl, row in zip(sweep.ttls(), sweep.failure_matrix())
+        ]
+        return render_matrix(
+            "Resilience surface: failures during attack "
+            f"({PROBES} probes; paper anchors: E=8.5%, F=19%, H=40%, I=63%)",
+            [f"{loss:.0%} loss" for loss in sweep.losses()],
+            rows,
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    emit(output_dir, "sweep_surface", text)
+
+    # Paper anchors, loosely: mild attacks survivable everywhere.
+    for ttl in sweep.ttls():
+        assert sweep.point(0.5, ttl).failure_during < 0.30
+    # Heavy attack: caching is the difference (H vs I).
+    assert (
+        sweep.point(0.9, 1800).failure_during
+        < sweep.point(0.9, 60).failure_during - 0.05
+    )
+    # Monotone in loss at every TTL (small-sample slack).
+    for ttl in sweep.ttls():
+        failures = [
+            sweep.point(loss, ttl).failure_during for loss in sweep.losses()
+        ]
+        assert failures[0] <= failures[-1] + 0.03
+    # Amplification grows with loss at fixed TTL.
+    assert (
+        sweep.point(0.9, 1800).amplification
+        > sweep.point(0.5, 1800).amplification
+    )

@@ -1,0 +1,54 @@
+"""Table 3 — attribution of cache misses to public resolvers."""
+
+from conftest import emit
+
+from repro.analysis.tables import render_matrix
+
+# Paper Table 3, TTL 1800 column, as fractions of AC answers:
+# Public R1 12000/24645 = 0.487; Google R1 9693/24645 = 0.393;
+# within non-public, Google Rn 1196/12645 = 0.095.
+PAPER = {
+    "public_r1_share": 0.487,
+    "google_r1_share": 0.393,
+    "google_rn_within_nonpublic": 0.095,
+}
+
+
+def test_bench_table3(benchmark, runs, output_dir):
+    keys = ("1800", "3600", "86400", "3600-10m")
+    results = {key: runs.baseline(key) for key in keys}
+
+    def regenerate():
+        columns = list(keys)
+        tables = {key: results[key].table3 for key in keys}
+        labels = [label for label, _ in tables["1800"].as_rows()]
+        rows = [
+            (label, [dict(tables[key].as_rows())[label] for key in columns])
+            for label in labels
+        ]
+        return render_matrix(
+            "Table 3: AC answers by resolver kind (no public misses at TTL 60)",
+            columns,
+            rows,
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+
+    table3 = results["1800"].table3
+    measured = {
+        "public_r1_share": table3.public_r1 / table3.ac_total,
+        "google_r1_share": table3.google_r1 / table3.ac_total,
+        "google_rn_within_nonpublic": (
+            table3.google_rn / table3.non_public_r1 if table3.non_public_r1 else 0.0
+        ),
+    }
+    comparison = "\n".join(
+        f"  {name}: measured {measured[name]:.3f} vs paper {PAPER[name]:.3f}"
+        for name in PAPER
+    )
+    emit(output_dir, "table3", text + "\n\nShares (TTL 1800):\n" + comparison)
+
+    # About half of misses via public R1s, most of those Google-like.
+    assert 0.35 < measured["public_r1_share"] < 0.70
+    assert measured["google_r1_share"] > 0.5 * measured["public_r1_share"]
+    assert measured["google_rn_within_nonpublic"] < 0.35

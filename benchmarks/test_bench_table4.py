@@ -1,0 +1,60 @@
+"""Table 4 — the DDoS experiment matrix: parameters and outcome summary."""
+
+from conftest import DDOS_PROBES, emit
+
+from repro.analysis.tables import render_matrix
+from repro.core.experiments import DDOS_EXPERIMENTS
+
+# Paper §5.4 failure fractions during the attack window.
+PAPER_FAILURES = {
+    "E": 0.085,
+    "F": 0.190,
+    "H": 0.403,
+    "I": 0.630,
+}
+
+
+def test_bench_table4(benchmark, runs, output_dir):
+    keys = list("ABCDEFGHI")
+    results = {key: runs.ddos(key) for key in keys}
+
+    def regenerate():
+        rows = []
+        for key in keys:
+            spec = DDOS_EXPERIMENTS[key]
+            result = results[key]
+            rows.append(
+                (
+                    key,
+                    [
+                        spec.ttl,
+                        f"{spec.loss_fraction:.0%}",
+                        spec.servers,
+                        len(result.answers),
+                        f"{result.failure_fraction_before_attack():.3f}",
+                        f"{result.failure_fraction_during_attack():.3f}",
+                    ],
+                )
+            )
+        return render_matrix(
+            f"Table 4: DDoS experiments A-I ({DDOS_PROBES} probes; paper ~9k)",
+            ["TTL", "loss", "servers", "queries", "fail-pre", "fail-ddos"],
+            rows,
+        )
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    comparison = "\n".join(
+        f"  {key}: measured {results[key].failure_fraction_during_attack():.3f}"
+        f" vs paper {paper:.3f}"
+        for key, paper in PAPER_FAILURES.items()
+    )
+    emit(output_dir, "table4", text + "\n\nAttack-window failures:\n" + comparison)
+
+    for key, paper in PAPER_FAILURES.items():
+        measured = results[key].failure_fraction_during_attack()
+        assert abs(measured - paper) < 0.15, f"{key}: {measured} vs {paper}"
+
+    # Ordering: more loss -> more failures; shorter TTL -> more failures.
+    fail = {k: results[k].failure_fraction_during_attack() for k in keys}
+    assert fail["E"] < fail["F"] < fail["H"] < fail["I"]
+    assert fail["D"] < fail["E"] + 0.05  # one-server attack barely visible

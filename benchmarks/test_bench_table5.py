@@ -1,0 +1,41 @@
+"""Table 5 — referral (parent) vs answer (child) TTL precedence."""
+
+from conftest import SEED, emit
+
+from repro.analysis.tables import render_kv_table
+from repro.core.experiments.glue import run_glue_experiment
+
+# Paper Table 5: for NS records, (60803 + 60391) / 128382 = 94.4% carry
+# the child's TTL; ~0.2% the parent's exact value; ~5.4% in between.
+PAPER_CHILD_FRACTION = 0.944
+
+
+def test_bench_table5(benchmark, output_dir):
+    result = run_glue_experiment(probe_count=400, seed=SEED, rounds=3)
+
+    def regenerate():
+        ns_text = render_kv_table(
+            "Table 5 (NS record): returned TTLs, parent=3600 vs child=60",
+            result.ns_buckets.as_rows(),
+        )
+        a_text = render_kv_table(
+            "Table 5 (A record): returned TTLs, parent=3600 vs child=60",
+            result.a_buckets.as_rows(),
+        )
+        return ns_text + "\n\n" + a_text
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    measured = result.ns_buckets.child_fraction
+    emit(
+        output_dir,
+        "table5",
+        text
+        + f"\n\nchild-TTL fraction (NS): measured {measured:.3f}"
+        + f" vs paper {PAPER_CHILD_FRACTION:.3f}",
+    )
+
+    assert measured > 0.85
+    assert result.a_buckets.child_fraction > 0.85
+    # A visible minority trusts the parent/referral value.
+    parentish = result.ns_buckets.parent_exact + result.ns_buckets.between
+    assert parentish > 0

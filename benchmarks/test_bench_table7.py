@@ -1,0 +1,65 @@
+"""Table 7 + Figure 17 — the single-probe amplification drill-down."""
+
+from conftest import SEED, emit
+
+from repro.analysis.tables import render_matrix
+from repro.core.experiments.probe_case import run_probe_case
+
+# Paper Table 7: 3 client queries per interval; 3-6 authoritative
+# queries normally; 11-29 during the 90% attack; 2 of 3 answered.
+
+
+def test_bench_table7(benchmark, output_dir):
+    result = run_probe_case(seed=SEED)
+
+    def regenerate():
+        rows = [
+            (
+                f"T{row.interval}{'*' if row.during_attack else ' '}",
+                [
+                    row.client_queries,
+                    row.client_answers,
+                    row.client_r1_count,
+                    row.auth_queries,
+                    row.auth_answers,
+                    row.at_count,
+                    row.rn_count,
+                    row.rn_at_pairs,
+                    f"{row.top2_queries[0]};{row.top2_queries[1]}",
+                ],
+            )
+            for row in result.rows
+        ]
+        topology = (
+            "Figure 17 topology: probe -> "
+            f"{len(result.r1_addresses)} R1 -> {len(result.rn_addresses)} Rn -> "
+            f"{len(result.at_addresses)} AT"
+        )
+        table = render_matrix(
+            "Table 7: client vs authoritative view (* = attack interval)",
+            ["c-q", "c-ans", "c-R1", "a-q", "a-ans", "ATs", "Rn", "Rn-AT", "top2"],
+            rows,
+        )
+        return topology + "\n\n" + table
+
+    text = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    summary = result.amplification_summary()
+    emit(
+        output_dir,
+        "table7",
+        text
+        + "\n\nqueries per client query: "
+        + f"normal {summary['normal_queries_per_client_query']:.1f}, "
+        + f"attack {summary['attack_queries_per_client_query']:.1f} "
+        + "(paper: ~1-2 normal, ~4-10 attack)",
+    )
+
+    normal = [row for row in result.rows if not row.during_attack]
+    attack = [row for row in result.rows if row.during_attack]
+    assert all(row.client_queries == 3 for row in result.rows)
+    assert all(3 <= row.auth_queries <= 8 for row in normal)
+    assert max(row.auth_queries for row in attack) > 10
+    assert (
+        summary["attack_queries_per_client_query"]
+        > summary["normal_queries_per_client_query"] * 3
+    )

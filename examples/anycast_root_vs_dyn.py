@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Anycast under partial-site attack: why outcomes were uneven (§8).
+
+During the Nov 2015 root DDoS, some anycast letters lost most sites
+while others were untouched — and end users barely noticed. This
+example serves one zone from a single anycast nameserver with six
+sites, attacks three of them with 90% loss, and splits clients by the
+site their resolver's catchment homes on. It then repeats the run with
+the operators' classic mitigation: withdrawing the attacked sites'
+routes mid-attack, re-homing everyone onto healthy sites.
+
+Run:  python examples/anycast_root_vs_dyn.py
+"""
+
+from repro.core.experiments.anycast_study import AnycastSpec, run_anycast_study
+
+
+def print_series(result, catchment: str) -> None:
+    series = result.outcomes_by_round(catchment)
+    row = []
+    for round_index in sorted(series):
+        bucket = series[round_index]
+        ok = bucket["ok"] / max(1, sum(bucket.values()))
+        row.append(f"{ok:4.0%}")
+    print(f"  {catchment:>9}: " + " ".join(row))
+
+
+def main() -> None:
+    print("6 anycast sites, 3 under 90% loss for minutes 60-120\n")
+
+    print("Served fraction per 10-minute round, by pre-attack catchment:")
+    plain = run_anycast_study(probe_count=300, seed=7)
+    print_series(plain, "attacked")
+    print_series(plain, "healthy")
+    print(
+        f"\n  attack-window failures: attacked catchment "
+        f"{plain.failure_during_attack('attacked'):.1%}, healthy "
+        f"{plain.failure_during_attack('healthy'):.1%}"
+    )
+
+    print("\nSame attack, withdrawing the attacked sites 20 min in:")
+    withdrawn = run_anycast_study(
+        AnycastSpec(withdraw_after_min=20), probe_count=300, seed=7
+    )
+    print_series(withdrawn, "attacked")
+    print(
+        f"\n  attack-window failures in the attacked catchment drop to "
+        f"{withdrawn.failure_during_attack('attacked'):.1%}"
+    )
+    print(
+        "\nThe paper's point: a DNS service is as resilient as its most\n"
+        "reachable replica — clients in clean catchments never notice,\n"
+        "and rerouting (or more NS addresses) rescues the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

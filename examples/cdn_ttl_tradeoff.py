@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Why the Root rode out its DDoS while Dyn's customers went dark (§8).
+
+The paper's closing argument: the outcome of a DNS DDoS depends on the
+zone's TTL. Root-zone data is cacheable for a day or more, so caches
+bridged the 2015 root attacks; Dyn's CDN customers used 120–300 s TTLs,
+so caches drained within minutes of the October 2016 attack and users
+saw failures.
+
+This example fixes the attack (90% loss on both authoritatives for an
+hour) and sweeps the zone TTL, printing the failure rate clients see —
+the quantitative version of "longer TTLs buy DDoS resilience".
+
+Run:  python examples/cdn_ttl_tradeoff.py
+"""
+
+from repro import DDoSSpec, run_ddos
+
+TTL_STEPS = (60, 300, 900, 1800, 3600)
+
+
+def main() -> None:
+    print("zone TTL -> client failures under a 90% loss, 60-minute attack\n")
+    print(f"{'TTL':>6} {'fail during attack':>19} {'median lat (ms)':>16}")
+    for ttl in TTL_STEPS:
+        spec = DDoSSpec(
+            key=f"ttl-{ttl}",
+            ttl=ttl,
+            ddos_start_min=60,
+            ddos_duration_min=60,
+            queries_before=6,
+            total_duration_min=150,
+            probe_interval_min=10,
+            loss_fraction=0.90,
+            servers="both",
+        )
+        result = run_ddos(spec, probe_count=300, seed=7)
+        mid_attack_round = int(spec.attack_window[0] // spec.round_seconds) + 3
+        latency = {
+            row.round_index: row.median_ms for row in result.latency_series()
+        }
+        print(
+            f"{ttl:>6} {result.failure_fraction_during_attack():>19.1%} "
+            f"{latency.get(mid_attack_round, float('nan')):>16.0f}"
+        )
+    print(
+        "\nShort CDN-style TTLs (60–300 s) leave clients exposed the moment\n"
+        "caches drain; TTLs of 30+ minutes ride out most of the attack —\n"
+        "the paper suggests CDN operators weigh this into DDoS planning."
+    )
+
+
+if __name__ == "__main__":
+    main()

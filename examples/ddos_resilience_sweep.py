@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Sweep attack intensity: how much loss can the DNS absorb?
+
+The paper's §5.4 finding is that client failures grow much more slowly
+than the attack's packet-loss rate, because caches answer some clients
+and retries push queries through residual capacity. This example sweeps
+loss from 0% to 95% with the paper's Experiment-E/F/H timeline and
+prints failure rate and authoritative amplification per step.
+
+Run:  python examples/ddos_resilience_sweep.py
+"""
+
+from repro import DDoSSpec, run_ddos
+
+LOSS_STEPS = (0.0, 0.25, 0.50, 0.75, 0.90, 0.95)
+
+
+def main() -> None:
+    print("loss on both authoritatives -> client failures (TTL 1800 s)\n")
+    print(f"{'loss':>6} {'fail before':>12} {'fail during':>12} {'amplif.':>9}")
+    for loss in LOSS_STEPS:
+        spec = DDoSSpec(
+            key=f"sweep-{int(loss * 100)}",
+            ttl=1800,
+            ddos_start_min=60,
+            ddos_duration_min=60,
+            queries_before=6,
+            total_duration_min=150,
+            probe_interval_min=10,
+            loss_fraction=loss,
+            servers="both",
+        )
+        result = run_ddos(spec, probe_count=300, seed=7)
+        amplification = result.amplification() if loss > 0 else 1.0
+        print(
+            f"{loss:>6.0%} {result.failure_fraction_before_attack():>12.1%} "
+            f"{result.failure_fraction_during_attack():>12.1%} "
+            f"{amplification:>8.1f}x"
+        )
+    print(
+        "\nNote the nonlinearity the paper reports: 50% loss is nearly\n"
+        "invisible to clients, 75% hurts a little, and even at 90% more\n"
+        "than half of queries still succeed — while legitimate retry\n"
+        "traffic at the servers multiplies."
+    )
+
+
+if __name__ == "__main__":
+    main()

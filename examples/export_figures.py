@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Export figure data as CSV for external plotting tools.
+
+Runs Experiment H and writes the data behind Figures 8c (client
+outcomes), 9c (latency quantiles), and 10b (authoritative load by query
+kind) into ``figures/``, ready for gnuplot/matplotlib/a spreadsheet.
+
+Run:  python examples/export_figures.py
+"""
+
+import pathlib
+
+from repro import DDOS_EXPERIMENTS, run_ddos
+from repro.analysis.export import (
+    write_latency_csv,
+    write_load_csv,
+    write_outcomes_csv,
+)
+
+
+def main() -> None:
+    output_dir = pathlib.Path("figures")
+    output_dir.mkdir(exist_ok=True)
+    spec = DDOS_EXPERIMENTS["H"]
+    print(spec.describe())
+    print("running (400 probes)...")
+    result = run_ddos(spec, probe_count=400, seed=42)
+
+    with open(output_dir / "fig08c_outcomes.csv", "w", newline="") as stream:
+        rows = write_outcomes_csv(result.outcomes_by_round(), stream)
+    print(f"figures/fig08c_outcomes.csv      ({rows} rounds)")
+
+    with open(output_dir / "fig09c_latency.csv", "w", newline="") as stream:
+        rows = write_latency_csv(result.latency_series(), stream)
+    print(f"figures/fig09c_latency.csv       ({rows} rounds)")
+
+    with open(output_dir / "fig10b_load.csv", "w", newline="") as stream:
+        rows = write_load_csv(result.authoritative_load(), stream)
+    print(f"figures/fig10b_load.csv          ({rows} rounds)")
+
+    print(
+        "\nPlot, for example, with gnuplot:\n"
+        "  set datafile separator ','\n"
+        "  plot 'figures/fig08c_outcomes.csv' using 1:2 with lines title 'OK'"
+    )
+
+
+if __name__ == "__main__":
+    main()

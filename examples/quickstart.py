@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: emulate a DDoS against a DNS zone and watch clients cope.
+
+Runs the paper's Experiment H (90% packet loss at both authoritative
+servers for an hour, 30-minute TTL) at small scale and prints the client
+experience per 10-minute round, plus the retry amplification the
+authoritatives absorb.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DDOS_EXPERIMENTS, run_ddos
+
+def main() -> None:
+    spec = DDOS_EXPERIMENTS["H"]
+    print(spec.describe())
+    print("simulating ~500 probes (paper used ~9k)...\n")
+    result = run_ddos(spec, probe_count=500, seed=42)
+
+    print(f"{'minute':>7} {'OK':>7} {'SERVFAIL':>9} {'no answer':>10}")
+    attack_start, attack_end = spec.attack_window
+    for round_index, bucket in sorted(result.outcomes_by_round().items()):
+        start = round_index * spec.round_seconds
+        marker = "  <- DDoS" if attack_start <= start < attack_end else ""
+        print(
+            f"{start / 60:>7.0f} {bucket['ok']:>7} {bucket['servfail']:>9} "
+            f"{bucket['no_answer']:>10}{marker}"
+        )
+
+    print()
+    before = result.failure_fraction_before_attack()
+    during = result.failure_fraction_during_attack()
+    print(f"failure fraction before attack: {before:6.1%}   (paper: ~4.8%)")
+    print(f"failure fraction during attack: {during:6.1%}   (paper: ~40.3%)")
+    print(f"authoritative load multiplier:  {result.amplification():5.1f}x  (paper: ~8.2x)")
+    print(
+        "\nCaching and retries together keep more than half of clients\n"
+        "served through a 90% packet-loss attack — the paper's headline."
+    )
+
+
+if __name__ == "__main__":
+    main()

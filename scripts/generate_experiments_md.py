@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper-reported vs measured, every table/figure.
+
+Thin wrapper around :func:`repro.analysis.report.build_report`.
+
+Usage:  python scripts/generate_experiments_md.py [output-path]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.report import build_report
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    started = time.time()
+    report = build_report()
+    with open(output_path, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    print(f"wrote {output_path} in {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

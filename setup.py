@@ -1,0 +1,15 @@
+"""Setup shim for environments whose pip/setuptools lack PEP 660 support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'When the Dike Breaks: Dissecting DNS Defenses "
+        "During DDoS' (IMC 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,259 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro ddos H --probes 500
+    python -m repro baseline 1800 --probes 600
+    python -m repro software --attack
+    python -m repro glue
+    python -m repro probe-case
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import render_timeseries_table
+from repro.analysis.tables import render_kv_table
+from repro.core.experiments import (
+    BASELINE_EXPERIMENTS,
+    DDOS_EXPERIMENTS,
+    run_baseline,
+    run_cache_dump_study,
+    run_ddos,
+    run_glue_experiment,
+    run_probe_case,
+    run_software_study,
+)
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    spec = BASELINE_EXPERIMENTS[args.experiment]
+    result = run_baseline(spec, probe_count=args.probes, seed=args.seed)
+    print(render_kv_table(f"Dataset (TTL {args.experiment})", result.dataset.as_rows()))
+    print()
+    print(render_kv_table("Classification (Table 2)", result.table2.as_rows()))
+    print()
+    print(render_kv_table("Miss attribution (Table 3)", result.table3.as_rows()))
+    print(f"\ncache-miss rate: {result.miss_rate:.1%}")
+    return 0
+
+
+def _cmd_ddos(args: argparse.Namespace) -> int:
+    spec = DDOS_EXPERIMENTS[args.experiment]
+    print(spec.describe())
+    result = run_ddos(spec, probe_count=args.probes, seed=args.seed)
+    if args.export_trace:
+        from repro.analysis.traceio import export_query_log
+
+        with open(args.export_trace, "w", encoding="utf-8") as stream:
+            rows = export_query_log(result.testbed.offered_query_log, stream)
+        print(f"exported {rows} offered queries to {args.export_trace}")
+    start, end = spec.attack_window
+    attack_rounds = [
+        index
+        for index in range(int(spec.total_duration_min))
+        if start <= index * spec.round_seconds < end
+    ]
+    print()
+    print(
+        render_timeseries_table(
+            "Client outcomes per round (* = attack)",
+            result.outcomes_by_round(),
+            ["ok", "servfail", "no_answer"],
+            attack_rounds=attack_rounds,
+        )
+    )
+    print(f"\nfailures before attack: {result.failure_fraction_before_attack():.1%}")
+    print(f"failures during attack: {result.failure_fraction_during_attack():.1%}")
+    print(f"authoritative amplification: {result.amplification():.1f}x")
+    return 0
+
+
+def _cmd_software(args: argparse.Namespace) -> int:
+    for software in ("bind", "unbound"):
+        result = run_software_study(software, args.attack, seed=args.seed)
+        condition = "authoritatives dead" if args.attack else "normal"
+        print(
+            f"{software:8s} ({condition}): root={result.queries_root} "
+            f"tld={result.queries_tld} target={result.queries_target} "
+            f"total={result.total} resolved={result.resolved}"
+        )
+    return 0
+
+
+def _cmd_glue(args: argparse.Namespace) -> int:
+    result = run_glue_experiment(probe_count=args.probes, seed=args.seed)
+    print(render_kv_table("NS answers (Table 5)", result.ns_buckets.as_rows()))
+    print()
+    print(render_kv_table("A answers (Table 5)", result.a_buckets.as_rows()))
+    print(f"\nchild-TTL fraction (NS): {result.ns_buckets.child_fraction:.1%}")
+    for software in ("bind", "unbound"):
+        dump = run_cache_dump_study(software)
+        print(
+            f"{software} cache after NS query: {dump.ns_cached_ttl}s "
+            f"(child published {dump.child_ttl}s, parent {dump.parent_ttl}s)"
+        )
+    return 0
+
+
+def _cmd_probe_case(args: argparse.Namespace) -> int:
+    result = run_probe_case(seed=args.seed)
+    print("interval  client(q/ans/R1)  auth(q/ans/ATs/Rn/pairs)  top2")
+    for row in result.rows:
+        marker = " *" if row.during_attack else ""
+        print(
+            f"{row.interval:>8}  {row.client_queries}/{row.client_answers}/"
+            f"{row.client_r1_count:<12} {row.auth_queries}/{row.auth_answers}/"
+            f"{row.at_count}/{row.rn_count}/{row.rn_at_pairs:<10} "
+            f"{row.top2_queries}{marker}"
+        )
+    summary = result.amplification_summary()
+    print(
+        f"\nqueries per client query: normal "
+        f"{summary['normal_queries_per_client_query']:.1f}, attack "
+        f"{summary['attack_queries_per_client_query']:.1f}"
+    )
+    return 0
+
+
+def _cmd_analyze_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.traceio import analyze_trace, import_query_log
+
+    with open(args.path, "r", encoding="utf-8") as stream:
+        log = import_query_log(stream)
+    analysis = analyze_trace(log, ttl=args.ttl)
+    print(
+        render_kv_table(
+            f"Trace analysis ({args.path}, TTL {args.ttl:.0f}s)",
+            analysis.as_rows(),
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.export import write_sweep_csv
+    from repro.core.experiments.sweep import run_sweep
+
+    losses = [float(value) for value in args.losses.split(",")]
+    ttls = [int(value) for value in args.ttls.split(",")]
+    sweep = run_sweep(
+        losses=losses, ttls=ttls, probe_count=args.probes, seed=args.seed
+    )
+    print("failure fraction during attack (rows: TTL, columns: loss)")
+    header = f"{'TTL':>8} " + "".join(f"{loss:>9.0%}" for loss in sweep.losses())
+    print(header)
+    for ttl, row in zip(sweep.ttls(), sweep.failure_matrix()):
+        print(f"{ttl:>8} " + "".join(f"{value:>9.1%}" for value in row))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8", newline="") as stream:
+            write_sweep_csv(sweep, stream)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+
+    report = build_report(
+        baseline_probes=args.baseline_probes,
+        ddos_probes=args.ddos_probes,
+        seed=args.seed,
+    )
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'When the Dike Breaks: Dissecting DNS "
+            "Defenses During DDoS' (IMC 2018)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master RNG seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    baseline = subparsers.add_parser(
+        "baseline", help="run a §3 caching baseline experiment"
+    )
+    baseline.add_argument("experiment", choices=sorted(BASELINE_EXPERIMENTS))
+    baseline.add_argument("--probes", type=int, default=600)
+    baseline.set_defaults(func=_cmd_baseline)
+
+    ddos = subparsers.add_parser("ddos", help="run a Table 4 DDoS experiment")
+    ddos.add_argument("experiment", choices=sorted(DDOS_EXPERIMENTS))
+    ddos.add_argument("--probes", type=int, default=400)
+    ddos.add_argument(
+        "--export-trace",
+        metavar="PATH",
+        help="write the offered authoritative query trace as JSONL",
+    )
+    ddos.set_defaults(func=_cmd_ddos)
+
+    analyze = subparsers.add_parser(
+        "analyze-trace",
+        help="apply the paper's §4 methodology to a JSONL query trace",
+    )
+    analyze.add_argument("path", help="JSONL trace file")
+    analyze.add_argument(
+        "--ttl", type=float, default=3600.0, help="reference record TTL"
+    )
+    analyze.set_defaults(func=_cmd_analyze_trace)
+
+    software = subparsers.add_parser(
+        "software", help="BIND/Unbound retry study (Appendix E)"
+    )
+    software.add_argument(
+        "--attack", action="store_true", help="make all authoritatives unreachable"
+    )
+    software.set_defaults(func=_cmd_software)
+
+    glue = subparsers.add_parser(
+        "glue", help="referral vs answer TTL precedence (Appendix A)"
+    )
+    glue.add_argument("--probes", type=int, default=400)
+    glue.set_defaults(func=_cmd_glue)
+
+    probe_case = subparsers.add_parser(
+        "probe-case", help="single-probe drill-down (Appendix F)"
+    )
+    probe_case.set_defaults(func=_cmd_probe_case)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="loss x TTL resilience surface (generalizes Table 4)"
+    )
+    sweep.add_argument("--losses", default="0.5,0.75,0.9", help="comma list")
+    sweep.add_argument("--ttls", default="60,300,1800", help="comma list")
+    sweep.add_argument("--probes", type=int, default=200)
+    sweep.add_argument("--csv", metavar="PATH", help="write the surface as CSV")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = subparsers.add_parser(
+        "report",
+        help="run every experiment and print the paper-vs-measured report",
+    )
+    report.add_argument("--baseline-probes", type=int, default=600)
+    report.add_argument("--ddos-probes", type=int, default=400)
+    report.add_argument(
+        "--output", metavar="PATH", help="also write the report to a file"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Presentation helpers: ECDFs, table renderers, and figure series.
+
+Benchmarks and examples use these to print each reproduced table and
+figure next to the paper's reported values.
+"""
+
+from repro.analysis.ecdf import Ecdf
+from repro.analysis.figures import render_series, render_timeseries_table
+from repro.analysis.tables import render_kv_table, render_matrix
+
+__all__ = [
+    "Ecdf",
+    "render_kv_table",
+    "render_matrix",
+    "render_series",
+    "render_timeseries_table",
+]

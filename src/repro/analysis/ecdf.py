@@ -1,0 +1,40 @@
+"""Empirical cumulative distribution functions."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Tuple
+
+
+class Ecdf:
+    """An ECDF over a sample, supporting evaluation and quantiles."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self.values: List[float] = sorted(values)
+        if not self.values:
+            raise ValueError("ECDF of an empty sample")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF by nearest rank."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        index = min(len(self.values) - 1, max(0, round(q * (len(self.values) - 1))))
+        return self.values[index]
+
+    def points(self, count: int = 50) -> List[Tuple[float, float]]:
+        """Evenly spaced (x, F(x)) pairs for plotting/printing."""
+        low, high = self.values[0], self.values[-1]
+        if low == high:
+            return [(low, 1.0)]
+        step = (high - low) / (count - 1)
+        return [
+            (low + index * step, self.at(low + index * step))
+            for index in range(count)
+        ]

@@ -1,0 +1,109 @@
+"""CSV export of figure series, for plotting outside the library.
+
+The paper's figures are gnuplot timeseries; these helpers write the
+equivalent data files (CSV with a header row) from the library's series
+objects, so any plotting tool can regenerate the visuals.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Sequence, TextIO
+
+from repro.core.metrics import LatencyQuantiles
+
+
+def write_outcomes_csv(
+    series: Dict[int, Dict[str, int]],
+    stream: TextIO,
+    round_minutes: float = 10.0,
+) -> int:
+    """Figures 6/8/14 data: minute, ok, servfail, no_answer, error."""
+    writer = csv.writer(stream)
+    writer.writerow(["minute", "ok", "servfail", "no_answer", "error"])
+    rows = 0
+    for round_index in sorted(series):
+        bucket = series[round_index]
+        writer.writerow(
+            [
+                round_index * round_minutes,
+                bucket.get("ok", 0),
+                bucket.get("servfail", 0),
+                bucket.get("no_answer", 0),
+                bucket.get("error", 0),
+            ]
+        )
+        rows += 1
+    return rows
+
+
+def write_latency_csv(
+    series: Sequence[LatencyQuantiles],
+    stream: TextIO,
+    round_minutes: float = 10.0,
+) -> int:
+    """Figures 9/15 data: minute, count, median, mean, p75, p90 (ms)."""
+    writer = csv.writer(stream)
+    writer.writerow(["minute", "count", "median_ms", "mean_ms", "p75_ms", "p90_ms"])
+    for row in series:
+        writer.writerow(
+            [
+                row.round_index * round_minutes,
+                row.count,
+                round(row.median_ms, 3),
+                round(row.mean_ms, 3),
+                round(row.p75_ms, 3),
+                round(row.p90_ms, 3),
+            ]
+        )
+    return len(series)
+
+
+def write_load_csv(
+    series: Dict[int, Dict[str, int]],
+    stream: TextIO,
+    kinds: Sequence[str] = ("NS", "A-for-NS", "AAAA-for-NS", "AAAA-for-PID"),
+    round_minutes: float = 10.0,
+) -> int:
+    """Figure 10 data: minute plus one column per query kind."""
+    writer = csv.writer(stream)
+    writer.writerow(["minute", *kinds, "total"])
+    rows = 0
+    for round_index in sorted(series):
+        bucket = series[round_index]
+        values = [bucket.get(kind, 0) for kind in kinds]
+        writer.writerow(
+            [round_index * round_minutes, *values, sum(bucket.values())]
+        )
+        rows += 1
+    return rows
+
+
+def write_sweep_csv(sweep, stream: TextIO) -> int:
+    """Sweep surface: loss, ttl, failures, amplification per cell."""
+    writer = csv.writer(stream)
+    writer.writerow(
+        ["loss", "ttl", "failure_before", "failure_during", "amplification"]
+    )
+    for point in sweep.points:
+        writer.writerow(
+            [
+                point.loss_fraction,
+                point.ttl,
+                round(point.failure_before, 5),
+                round(point.failure_during, 5),
+                round(point.amplification, 3),
+            ]
+        )
+    return len(sweep.points)
+
+
+def write_ecdf_csv(values: Sequence[float], stream: TextIO) -> int:
+    """Figure 4-style ECDF: value, cumulative fraction."""
+    writer = csv.writer(stream)
+    writer.writerow(["value", "cdf"])
+    ordered = sorted(values)
+    total = len(ordered)
+    for index, value in enumerate(ordered, start=1):
+        writer.writerow([round(value, 6), round(index / total, 6)])
+    return total

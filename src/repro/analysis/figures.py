@@ -1,0 +1,68 @@
+"""Figure-series renderers: timeseries as aligned text columns.
+
+The paper's figures are stacked-count or quantile timeseries over
+10-minute rounds; these helpers print the same series so the benchmark
+output can be compared against the published plots row by row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def render_timeseries_table(
+    title: str,
+    series: Dict[int, Dict[str, int]],
+    columns: Sequence[str],
+    round_minutes: float = 10.0,
+    attack_rounds: Optional[Sequence[int]] = None,
+) -> str:
+    """Render a per-round multi-column count series (Figures 6/8/10/13/14)."""
+    lines = [title, "-" * len(title)]
+    header = f"{'min':>5} " + "".join(f"{name:>12}" for name in columns)
+    if attack_rounds is not None:
+        header += "  attack"
+    lines.append(header)
+    for round_index in sorted(series):
+        bucket = series[round_index]
+        line = f"{round_index * round_minutes:>5.0f} " + "".join(
+            f"{bucket.get(name, 0):>12}" for name in columns
+        )
+        if attack_rounds is not None:
+            line += "  *" if round_index in attack_rounds else ""
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    rows: Sequence[Sequence[object]],
+    columns: Sequence[str],
+) -> str:
+    """Render arbitrary row tuples under named columns (Figures 9/11/12)."""
+    lines = [title, "-" * len(title)]
+    lines.append("".join(f"{name:>14}" for name in columns))
+    for row in rows:
+        lines.append(
+            "".join(
+                f"{value:>14.1f}" if isinstance(value, float) else f"{value!s:>14}"
+                for value in row
+            )
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A coarse one-line chart for quick visual comparison in terminals."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    top = max(values)
+    if top <= 0:
+        return " " * min(len(values), width)
+    step = max(1, len(values) // width)
+    sampled = [values[index] for index in range(0, len(values), step)]
+    return "".join(
+        blocks[min(len(blocks) - 1, int(value / top * (len(blocks) - 1)))]
+        for value in sampled
+    )

@@ -1,0 +1,40 @@
+"""Plain-text table renderers for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+
+def render_kv_table(
+    title: str,
+    rows: Sequence[Tuple[str, object]],
+    paper: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render label/value rows, optionally with a paper-reported column."""
+    lines = [title, "-" * len(title)]
+    width = max((len(label) for label, _ in rows), default=10) + 2
+    if paper:
+        lines.append(f"{'':{width}}{'measured':>12}  {'paper':>12}")
+    for label, value in rows:
+        if paper and label in paper:
+            lines.append(f"{label:{width}}{value!s:>12}  {paper[label]!s:>12}")
+        else:
+            lines.append(f"{label:{width}}{value!s:>12}")
+    return "\n".join(lines)
+
+
+def render_matrix(
+    title: str,
+    column_names: Sequence[str],
+    rows: Sequence[Tuple[str, Sequence[object]]],
+) -> str:
+    """Render a labeled matrix (rows of equal length)."""
+    lines = [title, "-" * len(title)]
+    label_width = max((len(label) for label, _ in rows), default=8) + 2
+    header = " " * label_width + "".join(f"{name:>12}" for name in column_names)
+    lines.append(header)
+    for label, values in rows:
+        lines.append(
+            f"{label:{label_width}}" + "".join(f"{value!s:>12}" for value in values)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Client-side ecosystem: probes and the vantage-point population.
+
+The paper measures from ~9k RIPE Atlas probes whose ~15k (probe,
+first-hop-recursive) pairs form the vantage points. This subpackage
+builds the synthetic equivalent: a population of stub resolvers wired to
+a heterogeneous mix of first-hop recursives — direct ISP resolvers,
+load-balanced ISP clusters, home-router forwarders, and public anycast
+services — calibrated to reproduce the caching behavior mix the paper
+observed (§3.4–§3.5).
+"""
+
+from repro.clients.population import (
+    Population,
+    PopulationConfig,
+    ProfileShares,
+    build_population,
+)
+from repro.clients.probe import Probe
+from repro.clients.publicdns import PublicServiceSpec, ResolverRegistry
+
+__all__ = [
+    "Population",
+    "PopulationConfig",
+    "Probe",
+    "ProfileShares",
+    "PublicServiceSpec",
+    "ResolverRegistry",
+    "build_population",
+]

@@ -1,0 +1,42 @@
+"""The paper's contribution: measurement methodology and experiments.
+
+* :mod:`~repro.core.classification` — the AA/CC/AC/CA answer classifier
+  (paper §3.4), TTL-manipulation detection, cache-fragmentation markers,
+  and the public-resolver attribution of cache misses (§3.5).
+* :mod:`~repro.core.metrics` — client-experience and authoritative-side
+  aggregations behind every figure.
+* :mod:`~repro.core.testbed` — assembles a complete measurement world
+  (zone tree, authoritatives, population, attack schedule, zone rotation).
+* :mod:`~repro.core.experiments` — one runner per paper experiment.
+"""
+
+from repro.core.classification import (
+    AnswerClass,
+    ClassificationTable,
+    ClassifiedAnswer,
+    RotationSchedule,
+    classify_answers,
+    classify_misses_by_resolver,
+)
+from repro.core.metrics import (
+    LatencyQuantiles,
+    latency_by_round,
+    responses_by_round,
+    round_index_of,
+)
+from repro.core.testbed import Testbed, TestbedConfig
+
+__all__ = [
+    "AnswerClass",
+    "ClassificationTable",
+    "ClassifiedAnswer",
+    "LatencyQuantiles",
+    "RotationSchedule",
+    "Testbed",
+    "TestbedConfig",
+    "classify_answers",
+    "classify_misses_by_resolver",
+    "latency_by_round",
+    "responses_by_round",
+    "round_index_of",
+]

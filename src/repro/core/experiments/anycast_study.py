@@ -1,0 +1,241 @@
+"""Anycast-site study: the §8 root-vs-Dyn mechanics, made runnable.
+
+The paper's implications section explains the uneven outcomes of real
+root DDoS events with IP anycast: an attack concentrates on some sites'
+catchments while others stay clean, and a DNS service "tends to be as
+resilient as the strongest individual authoritative" because recursives
+keep hunting for a server that answers.
+
+This study serves the measurement zone from one nameserver whose single
+address is anycast across ``site_count`` sites, attacks a subset of the
+sites, and splits the client population by catchment:
+
+* clients whose catchment site is attacked,
+* clients landing on healthy sites,
+
+optionally withdrawing the attacked sites mid-attack (the operators'
+route-withdrawal mitigation), which re-hashes catchments onto the
+healthy sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.clients.population import PopulationConfig, build_population
+from repro.core.metrics import failure_fraction, responses_by_round
+from repro.dnscore.name import Name
+from repro.netem.address import default_allocator
+from repro.netem.attack import AttackSchedule, AttackWindow
+from repro.netem.link import PerHostLatency, draw_authoritative_base
+from repro.netem.transport import Network
+from repro.resolvers.stub import StubAnswer
+from repro.servers.authoritative import AuthoritativeServer
+from repro.servers.hierarchy import (
+    PROBE_ANSWER_PREFIX,
+    ZoneSpec,
+    attach_probe_synthesizer,
+    build_hierarchy,
+)
+from repro.servers.querylog import QueryLog
+from repro.simcore.rng import RandomStreams
+from repro.simcore.simulator import Simulator
+
+
+@dataclass
+class AnycastSpec:
+    """Parameters of one anycast attack scenario."""
+
+    site_count: int = 6
+    attacked_sites: int = 3
+    loss_fraction: float = 0.90
+    ttl: int = 1800
+    attack_start_min: float = 60.0
+    attack_duration_min: float = 60.0
+    total_duration_min: float = 150.0
+    probe_interval_min: float = 10.0
+    # Withdraw the attacked sites this many minutes into the attack
+    # (None = never; the paper's root events saw both behaviors).
+    withdraw_after_min: Optional[float] = None
+
+    @property
+    def round_seconds(self) -> float:
+        return self.probe_interval_min * 60.0
+
+    @property
+    def attack_window(self) -> Tuple[float, float]:
+        start = self.attack_start_min * 60.0
+        return start, start + self.attack_duration_min * 60.0
+
+
+@dataclass
+class AnycastResult:
+    """Per-catchment client outcomes."""
+
+    spec: AnycastSpec
+    answers_attacked_catchment: List[StubAnswer]
+    answers_healthy_catchment: List[StubAnswer]
+    # VPs behind forwarders/pools whose exit catchment is not directly
+    # observable from the client side; reported separately.
+    answers_indirect: List[StubAnswer] = field(default_factory=list)
+    site_addresses: List[str] = field(default_factory=list)
+    attacked_addresses: List[str] = field(default_factory=list)
+
+    def failure_during_attack(self, catchment: str) -> float:
+        window = self.spec.attack_window
+        answers = (
+            self.answers_attacked_catchment
+            if catchment == "attacked"
+            else self.answers_healthy_catchment
+        )
+        return failure_fraction(answers, window)
+
+    def outcomes_by_round(self, catchment: str) -> Dict[int, Dict[str, int]]:
+        answers = (
+            self.answers_attacked_catchment
+            if catchment == "attacked"
+            else self.answers_healthy_catchment
+        )
+        return responses_by_round(answers, self.spec.round_seconds)
+
+
+def run_anycast_study(
+    spec: Optional[AnycastSpec] = None,
+    probe_count: int = 300,
+    seed: int = 42,
+) -> AnycastResult:
+    """Run the anycast scenario end to end."""
+    spec = spec or AnycastSpec()
+    if not 0 < spec.attacked_sites < spec.site_count:
+        raise ValueError("attacked_sites must leave at least one healthy site")
+
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    allocator = default_allocator()
+    latency = PerHostLatency(jitter=0.2)
+    attacks = AttackSchedule()
+    network = Network(
+        sim, streams, latency=latency, attacks=attacks, baseline_loss=0.004
+    )
+    rng = streams.stream("anycast-study")
+
+    # Zone tree: the measurement zone's single NS address is anycast.
+    anycast_address = allocator.allocate("anycast")
+    root_address = allocator.allocate("authoritatives")
+    tld_address = allocator.allocate("authoritatives")
+    specs = [
+        ZoneSpec(".", {"a.root-servers.test.": root_address}),
+        ZoneSpec("nl.", {"ns1.dns.nl.": tld_address}),
+        ZoneSpec(
+            "cachetest.nl.",
+            {"ns1.cachetest.nl.": anycast_address},
+            ns_ttl=spec.ttl,
+            a_ttl=spec.ttl,
+            negative_ttl=60,
+        ),
+    ]
+    zones = build_hierarchy(specs)
+    origin = Name.from_text("cachetest.nl.")
+    test_zone = zones[origin]
+    attach_probe_synthesizer(test_zone, PROBE_ANSWER_PREFIX, spec.ttl)
+
+    latency.set_base(root_address, draw_authoritative_base(rng))
+    latency.set_base(tld_address, draw_authoritative_base(rng))
+    AuthoritativeServer(sim, network, root_address, [zones[Name(())]], name="root")
+    AuthoritativeServer(
+        sim, network, tld_address, [zones[Name.from_text("nl.")]], name="tld"
+    )
+
+    query_log = QueryLog()
+    site_addresses: List[str] = []
+    for index in range(spec.site_count):
+        site_address = allocator.allocate("authoritatives")
+        latency.set_base(site_address, draw_authoritative_base(rng))
+        AuthoritativeServer(
+            sim,
+            network,
+            site_address,
+            [test_zone],
+            name=f"site-{index}",
+            query_log=query_log,
+        )
+        site_addresses.append(site_address)
+    network.register_anycast(anycast_address, site_addresses)
+
+    attacked = site_addresses[: spec.attacked_sites]
+    attack_start, attack_end = spec.attack_window
+    attacks.add(
+        AttackWindow(attacked, attack_start, attack_end, spec.loss_fraction)
+    )
+
+    population = build_population(
+        sim,
+        network,
+        streams,
+        root_hints=[root_address],
+        config=PopulationConfig(probe_count=probe_count),
+        allocator=allocator,
+        latency=latency,
+        zone_origin=origin,
+    )
+
+    # Capture the pre-attack catchment of every first-hop recursive now:
+    # a later route withdrawal re-hashes the live mapping, but the
+    # analysis splits clients by where they were homed when the attack
+    # began.
+    catchment_of: Dict[str, str] = {}
+    for probe in population.probes:
+        for r1_address in probe.stub.recursives:
+            if r1_address not in catchment_of:
+                catchment_of[r1_address] = network.anycast_catchment(
+                    r1_address, anycast_address
+                )
+
+    duration = spec.total_duration_min * 60.0
+    interval = spec.round_seconds
+    for step in range(1, int(duration // 600) + 1):
+        sim.at(step * 600.0, test_zone.set_serial, 1 + step)
+    population.schedule_rounds(
+        0.0,
+        interval,
+        int(spec.total_duration_min / spec.probe_interval_min),
+        300.0,
+        streams.stream("probing"),
+    )
+    if spec.withdraw_after_min is not None:
+        healthy = site_addresses[spec.attacked_sites:]
+        sim.at(
+            attack_start + spec.withdraw_after_min * 60.0,
+            network.update_anycast,
+            anycast_address,
+            healthy,
+        )
+    sim.run(until=duration + 20.0)
+
+    # Split VPs by the catchment of the recursive querying the anycast
+    # service. The catchment belongs to the *exit* recursive, so the
+    # clean comparison uses VPs whose first-hop IS the exit (direct ISP
+    # resolvers); VPs behind forwarders, clusters, and public pools go
+    # to the "indirect" bucket.
+    attacked_set = set(attacked)
+    attacked_answers: List[StubAnswer] = []
+    healthy_answers: List[StubAnswer] = []
+    indirect_answers: List[StubAnswer] = []
+    for answer in population.results:
+        if population.registry.kind_of(answer.resolver) != "isp":
+            indirect_answers.append(answer)
+            continue
+        catchment = catchment_of.get(answer.resolver)
+        if catchment in attacked_set:
+            attacked_answers.append(answer)
+        else:
+            healthy_answers.append(answer)
+    return AnycastResult(
+        spec=spec,
+        answers_attacked_catchment=attacked_answers,
+        answers_healthy_catchment=healthy_answers,
+        answers_indirect=indirect_answers,
+        site_addresses=site_addresses,
+        attacked_addresses=attacked,
+    )

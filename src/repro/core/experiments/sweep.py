@@ -1,0 +1,109 @@
+"""Parameter sweeps: the resilience surface behind the paper's matrix.
+
+The paper samples a handful of (loss rate, TTL) points — Experiments
+D–I. This module generalizes that into a grid sweep producing the full
+client-failure / amplification surface, which is how an operator would
+actually consume the result ("how much TTL do I need to survive an
+attack of intensity X?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.clients.population import PopulationConfig
+from repro.core.experiments.ddos import DDoSSpec, run_ddos
+
+
+@dataclass
+class SweepPoint:
+    """One (loss, TTL) cell of the surface."""
+
+    loss_fraction: float
+    ttl: int
+    failure_before: float
+    failure_during: float
+    amplification: float
+
+    @property
+    def failure_added(self) -> float:
+        """Attack-attributable failure (during minus baseline)."""
+        return max(0.0, self.failure_during - self.failure_before)
+
+
+@dataclass
+class SweepResult:
+    """The full grid, indexable by (loss, ttl)."""
+
+    points: List[SweepPoint]
+    probe_count: int
+    seed: int
+
+    def point(self, loss_fraction: float, ttl: int) -> SweepPoint:
+        for candidate in self.points:
+            if candidate.loss_fraction == loss_fraction and candidate.ttl == ttl:
+                return candidate
+        raise KeyError(f"no sweep point for loss={loss_fraction}, ttl={ttl}")
+
+    def losses(self) -> List[float]:
+        return sorted({point.loss_fraction for point in self.points})
+
+    def ttls(self) -> List[int]:
+        return sorted({point.ttl for point in self.points})
+
+    def failure_matrix(self) -> List[List[float]]:
+        """Rows = TTLs (ascending), columns = losses (ascending)."""
+        return [
+            [self.point(loss, ttl).failure_during for loss in self.losses()]
+            for ttl in self.ttls()
+        ]
+
+    def minimum_ttl_for(
+        self, loss_fraction: float, max_failure: float
+    ) -> Optional[int]:
+        """Smallest swept TTL keeping failures at/below ``max_failure``
+        under ``loss_fraction`` — the operator's planning question."""
+        for ttl in self.ttls():
+            if self.point(loss_fraction, ttl).failure_during <= max_failure:
+                return ttl
+        return None
+
+
+def run_sweep(
+    losses: Sequence[float] = (0.5, 0.75, 0.9),
+    ttls: Sequence[int] = (60, 300, 1800),
+    probe_count: int = 200,
+    seed: int = 42,
+    attack_start_min: float = 60.0,
+    attack_duration_min: float = 60.0,
+    population: Optional[PopulationConfig] = None,
+) -> SweepResult:
+    """Run the grid; one full DDoS experiment per cell."""
+    points: List[SweepPoint] = []
+    for ttl in ttls:
+        for loss in losses:
+            spec = DDoSSpec(
+                key=f"sweep-{ttl}-{int(loss * 100)}",
+                ttl=ttl,
+                ddos_start_min=attack_start_min,
+                ddos_duration_min=attack_duration_min,
+                queries_before=int(attack_start_min // 10),
+                total_duration_min=attack_start_min + attack_duration_min + 10,
+                probe_interval_min=10,
+                loss_fraction=loss,
+                servers="both",
+            )
+            result = run_ddos(
+                spec, probe_count=probe_count, seed=seed, population=population
+            )
+            points.append(
+                SweepPoint(
+                    loss_fraction=loss,
+                    ttl=ttl,
+                    failure_before=result.failure_fraction_before_attack(),
+                    failure_during=result.failure_fraction_during_attack(),
+                    amplification=result.amplification(),
+                )
+            )
+    return SweepResult(points=points, probe_count=probe_count, seed=seed)

@@ -1,0 +1,298 @@
+"""Assembles one complete measurement world.
+
+A :class:`Testbed` wires together everything an experiment needs: the
+zone tree (root → parent TLD → measurement zone), replicated
+authoritative servers with query logging, the probe population, zone
+rotation (serial bump every 10 minutes, §3.2), cache churn, and the DDoS
+attack schedule. Experiment runners configure a testbed, schedule probing
+rounds, run the clock, and hand the raw results to the analysis code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clients.population import (
+    Population,
+    PopulationConfig,
+    build_population,
+)
+from repro.core.classification import RotationSchedule
+from repro.dnscore.name import Name
+from repro.dnscore.zone import Zone
+from repro.netem.address import default_allocator
+from repro.netem.attack import AttackSchedule, AttackWindow
+from repro.netem.link import PerHostLatency, draw_authoritative_base
+from repro.netem.transport import Network
+from repro.servers.authoritative import AuthoritativeServer
+from repro.servers.hierarchy import (
+    PROBE_ANSWER_PREFIX,
+    ZoneSpec,
+    attach_probe_synthesizer,
+    build_hierarchy,
+)
+from repro.servers.querylog import QueryLog
+from repro.simcore.rng import RandomStreams
+from repro.simcore.simulator import Simulator
+
+
+@dataclass
+class TestbedConfig:
+    """Scenario-wide parameters (experiment runners override per run)."""
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    seed: int = 42
+    # The measurement zone's record TTL (the sweep variable of §3).
+    zone_ttl: int = 3600
+    # Negative-cache TTL of the measurement zone (§6.1: 60 s).
+    negative_ttl: int = 60
+    # Zone serial rotation interval (§3.2: every 10 minutes).
+    rotation_interval: float = 600.0
+    # TTL the parent publishes in referrals; None = same as zone_ttl.
+    delegation_ttl: Optional[int] = None
+    root_server_count: int = 2
+    tld_server_count: int = 2
+    test_server_count: int = 2
+    zone_origin: str = "cachetest.nl."
+    tld_origin: str = "nl."
+    # Baseline packet loss: produces the pre-attack ~5% failure floor the
+    # paper observes before any DDoS (§5.4).
+    baseline_loss: float = 0.004
+    wire_format: bool = False
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+
+
+class Testbed:
+    """A fully wired simulation world."""
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(self, config: Optional[TestbedConfig] = None) -> None:
+        self.config = config or TestbedConfig()
+        config = self.config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.allocator = default_allocator()
+        self.latency = PerHostLatency(jitter=0.2)
+        self.attacks = AttackSchedule()
+        self.network = Network(
+            self.sim,
+            self.streams,
+            latency=self.latency,
+            attacks=self.attacks,
+            baseline_loss=config.baseline_loss,
+            wire_format=config.wire_format,
+        )
+        self.rotation = RotationSchedule(
+            initial_serial=1, interval=config.rotation_interval
+        )
+        rng = self.streams.stream("testbed")
+
+        # ------------------------------------------------------------------
+        # Zone tree.
+        # ------------------------------------------------------------------
+        self.origin = Name.from_text(config.zone_origin)
+        tld = Name.from_text(config.tld_origin)
+        root_ns = {
+            f"{chr(ord('a') + index)}.root-servers.test.": self.allocator.allocate(
+                "authoritatives"
+            )
+            for index in range(config.root_server_count)
+        }
+        tld_label = config.tld_origin.rstrip(".")
+        tld_ns = {
+            f"ns{index + 1}.dns.{config.tld_origin}": self.allocator.allocate(
+                "authoritatives"
+            )
+            for index in range(config.tld_server_count)
+        }
+        test_ns = {
+            f"ns{index + 1}.{config.zone_origin}": self.allocator.allocate(
+                "authoritatives"
+            )
+            for index in range(config.test_server_count)
+        }
+        specs = [
+            ZoneSpec(".", root_ns),
+            ZoneSpec(config.tld_origin, tld_ns),
+            ZoneSpec(
+                config.zone_origin,
+                test_ns,
+                ns_ttl=config.zone_ttl,
+                a_ttl=config.zone_ttl,
+                delegation_ttl=(
+                    config.delegation_ttl
+                    if config.delegation_ttl is not None
+                    else config.zone_ttl
+                ),
+                negative_ttl=config.negative_ttl,
+            ),
+        ]
+        self.zones: Dict[Name, Zone] = build_hierarchy(specs)
+        self.test_zone = self.zones[self.origin]
+        attach_probe_synthesizer(
+            self.test_zone, PROBE_ANSWER_PREFIX, config.zone_ttl
+        )
+
+        # ------------------------------------------------------------------
+        # Authoritative servers.
+        # ------------------------------------------------------------------
+        self.query_log = QueryLog()  # measurement-zone servers
+        self.parent_query_log = QueryLog()  # root + TLD servers
+        self.root_servers: List[AuthoritativeServer] = []
+        self.tld_servers: List[AuthoritativeServer] = []
+        self.test_servers: List[AuthoritativeServer] = []
+        for host, address in root_ns.items():
+            self.latency.set_base(address, draw_authoritative_base(rng))
+            self.root_servers.append(
+                AuthoritativeServer(
+                    self.sim,
+                    self.network,
+                    address,
+                    [self.zones[Name(())]],
+                    name=f"root-{host.split('.')[0]}",
+                    query_log=self.parent_query_log,
+                )
+            )
+        for host, address in tld_ns.items():
+            self.latency.set_base(address, draw_authoritative_base(rng))
+            self.tld_servers.append(
+                AuthoritativeServer(
+                    self.sim,
+                    self.network,
+                    address,
+                    [self.zones[tld]],
+                    name=f"tld-{host.split('.')[0]}",
+                    query_log=self.parent_query_log,
+                )
+            )
+        for host, address in test_ns.items():
+            self.latency.set_base(address, draw_authoritative_base(rng))
+            self.test_servers.append(
+                AuthoritativeServer(
+                    self.sim,
+                    self.network,
+                    address,
+                    [self.test_zone],
+                    name=f"at-{host.split('.')[0]}",
+                    query_log=self.query_log,
+                )
+            )
+        self.root_hints = [server.address for server in self.root_servers]
+        self.test_ns_names = [Name.from_text(host) for host in test_ns]
+        self.test_server_addresses = [
+            server.address for server in self.test_servers
+        ]
+
+        # Offered-load vantage (paper: "queries before they are dropped"):
+        # a tap in front of each measurement-zone server records every
+        # query regardless of the attack drop.
+        self.offered_query_log = QueryLog()
+        for server in self.test_servers:
+            self.network.register_tap(
+                server.address, self._make_offered_tap(server.name)
+            )
+
+        # ------------------------------------------------------------------
+        # Client population.
+        # ------------------------------------------------------------------
+        self.population: Population = build_population(
+            self.sim,
+            self.network,
+            self.streams,
+            self.root_hints,
+            config=config.population,
+            allocator=self.allocator,
+            latency=self.latency,
+            zone_origin=self.origin,
+        )
+
+    def _make_offered_tap(self, server_name: str):
+        def tap(packet) -> None:
+            message = packet.message
+            if message.is_response or message.question is None:
+                return
+            self.offered_query_log.record(
+                self.sim.now,
+                packet.src,
+                message.question.qname,
+                message.question.qtype,
+                server_name,
+            )
+
+        return tap
+
+    # ------------------------------------------------------------------
+    # Scheduling helpers
+    # ------------------------------------------------------------------
+    def schedule_rotations(self, duration: float) -> None:
+        """Bump the zone serial every rotation interval (new zone file)."""
+        interval = self.config.rotation_interval
+        count = int(duration // interval)
+        for step in range(1, count + 1):
+            self.sim.at(
+                step * interval,
+                self.test_zone.set_serial,
+                self.rotation.initial_serial + step,
+            )
+
+    def schedule_probing(
+        self,
+        start: float,
+        interval: float,
+        rounds: int,
+        spread: float = 300.0,
+    ) -> None:
+        self.population.schedule_rounds(
+            start,
+            interval,
+            rounds,
+            spread,
+            self.streams.stream("probing"),
+        )
+
+    def schedule_churn(self, duration: float) -> int:
+        return self.population.schedule_cache_churn(
+            duration, self.streams.stream("churn")
+        )
+
+    def add_attack(
+        self,
+        start: float,
+        duration: float,
+        loss_fraction: float,
+        servers: str = "both",
+        label: str = "ddos",
+        queue_delay: float = 0.0,
+    ) -> AttackWindow:
+        """Attack the measurement-zone authoritatives.
+
+        ``servers``: "both" (all of them) or "one" (only the first), the
+        paper's Experiment D variant. ``queue_delay`` enables the
+        queueing-latency extension (§5.1 future work), off by default.
+        """
+        if servers == "both":
+            targets = list(self.test_server_addresses)
+        elif servers == "one":
+            targets = [self.test_server_addresses[0]]
+        else:
+            raise ValueError(f"unknown server selection {servers!r}")
+        window = AttackWindow(
+            targets,
+            start,
+            start + duration,
+            loss_fraction,
+            label=label,
+            queue_delay=queue_delay,
+        )
+        self.attacks.add(window)
+        return window
+
+    def run(self, duration: float, grace: float = 20.0) -> None:
+        """Run the world for ``duration`` simulated seconds (+`grace` for
+        resolutions still in flight at the end)."""
+        self.sim.run(until=duration + grace)

@@ -1,0 +1,58 @@
+"""DNS protocol implementation, from scratch.
+
+Everything the simulation needs to speak DNS lives here: domain names
+(:mod:`~repro.dnscore.name`), record types and response codes
+(:mod:`~repro.dnscore.rrtypes`), resource records and rdata
+(:mod:`~repro.dnscore.records`), messages (:mod:`~repro.dnscore.message`),
+an RFC 1035 wire codec with name compression (:mod:`~repro.dnscore.wire`),
+and authoritative zone data with answer/referral/NXDOMAIN lookup semantics
+(:mod:`~repro.dnscore.zone`).
+"""
+
+from repro.dnscore.message import Message, Question, make_query, make_response
+from repro.dnscore.name import Name, NameError_, root_name
+from repro.dnscore.records import (
+    AAAA,
+    CNAME,
+    DS,
+    NS,
+    SOA,
+    TXT,
+    A,
+    Rdata,
+    ResourceRecord,
+    RRset,
+)
+from repro.dnscore.rrtypes import Opcode, Rcode, RRClass, RRType
+from repro.dnscore.wire import WireError, from_wire, to_wire
+from repro.dnscore.zone import LookupResult, LookupStatus, Zone
+
+__all__ = [
+    "A",
+    "AAAA",
+    "CNAME",
+    "DS",
+    "LookupResult",
+    "LookupStatus",
+    "Message",
+    "NS",
+    "Name",
+    "NameError_",
+    "Opcode",
+    "Question",
+    "RRClass",
+    "RRType",
+    "RRset",
+    "Rcode",
+    "Rdata",
+    "ResourceRecord",
+    "SOA",
+    "TXT",
+    "WireError",
+    "Zone",
+    "from_wire",
+    "make_query",
+    "make_response",
+    "root_name",
+    "to_wire",
+]

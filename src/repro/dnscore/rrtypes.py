@@ -1,0 +1,64 @@
+"""Record types, classes, opcodes, and response codes.
+
+Only the types the paper's ecosystem exercises are defined (plus a few
+neighbors for completeness); values match IANA assignments so the wire
+codec interoperates with real packets in principle.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """DNS resource-record type codes (IANA)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    DS = 43
+    RRSIG = 46
+    DNSKEY = 48
+    OPT = 41
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class RRClass(enum.IntEnum):
+    """DNS class codes; IN is the only one in active use."""
+
+    IN = 1
+    CH = 3
+    ANY = 255
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Opcode(enum.IntEnum):
+    """Header opcodes; everything here is a standard QUERY."""
+
+    QUERY = 0
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Rcode(enum.IntEnum):
+    """Response codes a client can observe."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+    def __str__(self) -> str:
+        return self.name

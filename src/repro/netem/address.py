@@ -1,0 +1,53 @@
+"""Sequential IPv4 address allocation for simulated hosts.
+
+Addresses are plain strings. The allocator hands out unique addresses
+inside a /8 per role prefix so logs stay human-readable (probes in
+10/8, recursives in 100/8, authoritatives in 192/8, and so on).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict
+
+
+class AddressAllocator:
+    """Allocates unique IPv4 addresses from named pools."""
+
+    def __init__(self) -> None:
+        self._cursors: Dict[str, int] = {}
+        self._pools: Dict[str, ipaddress.IPv4Network] = {}
+        self._allocated: set = set()
+
+    def add_pool(self, name: str, cidr: str) -> None:
+        """Declare a pool, e.g. ``add_pool("probes", "10.0.0.0/8")``."""
+        network = ipaddress.IPv4Network(cidr)
+        self._pools[name] = network
+        self._cursors.setdefault(name, 1)
+
+    def allocate(self, pool: str) -> str:
+        """Next unused address from ``pool``."""
+        if pool not in self._pools:
+            raise KeyError(f"unknown address pool {pool!r}")
+        network = self._pools[pool]
+        cursor = self._cursors[pool]
+        if cursor >= network.num_addresses - 1:
+            raise RuntimeError(f"address pool {pool!r} exhausted")
+        address = str(network.network_address + cursor)
+        self._cursors[pool] = cursor + 1
+        self._allocated.add(address)
+        return address
+
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+
+def default_allocator() -> AddressAllocator:
+    """The pool layout every experiment uses."""
+    allocator = AddressAllocator()
+    allocator.add_pool("probes", "10.0.0.0/8")
+    allocator.add_pool("recursives", "100.64.0.0/10")
+    allocator.add_pool("public", "8.0.0.0/8")
+    allocator.add_pool("authoritatives", "192.0.0.0/8")
+    allocator.add_pool("anycast", "198.18.0.0/15")
+    return allocator

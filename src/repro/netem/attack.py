@@ -1,0 +1,107 @@
+"""DDoS attack schedules: windows of inbound packet loss at targets.
+
+This reproduces the paper's emulation exactly (§5.1): during an attack
+window, each packet *arriving at* a target address is dropped
+independently with the configured probability — random drop, unbiased
+toward any source, applied before the server sees the query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class AttackWindow:
+    """One attack: a set of targets, a time window, and a loss fraction.
+
+    ``queue_delay`` optionally models router-buffer queueing at the
+    target: surviving inbound packets gain an exponentially-distributed
+    extra delay with this mean (seconds). The paper's emulation models
+    loss only and names queueing latency as future work (§5.1); this is
+    that extension, off by default so the baseline reproduction matches
+    the paper.
+    """
+
+    __slots__ = ("targets", "start", "end", "loss_fraction", "queue_delay", "label")
+
+    def __init__(
+        self,
+        targets: Sequence[str],
+        start: float,
+        end: float,
+        loss_fraction: float,
+        label: str = "ddos",
+        queue_delay: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_fraction <= 1.0:
+            raise ValueError(f"loss fraction out of range: {loss_fraction}")
+        if end <= start:
+            raise ValueError("attack window must have positive duration")
+        if queue_delay < 0:
+            raise ValueError(f"queue delay must be non-negative: {queue_delay}")
+        self.targets = frozenset(targets)
+        self.start = start
+        self.end = end
+        self.loss_fraction = loss_fraction
+        self.queue_delay = queue_delay
+        self.label = label
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def __repr__(self) -> str:
+        return (
+            f"<AttackWindow {self.label} [{self.start}, {self.end}) "
+            f"loss={self.loss_fraction:.0%} targets={len(self.targets)}>"
+        )
+
+
+class AttackSchedule:
+    """A collection of attack windows consulted per inbound packet."""
+
+    def __init__(self, windows: Optional[Iterable[AttackWindow]] = None) -> None:
+        self.windows: List[AttackWindow] = list(windows or [])
+        self._by_target: Dict[str, List[AttackWindow]] = {}
+        for window in self.windows:
+            self._index(window)
+
+    def _index(self, window: AttackWindow) -> None:
+        for target in window.targets:
+            self._by_target.setdefault(target, []).append(window)
+
+    def add(self, window: AttackWindow) -> None:
+        self.windows.append(window)
+        self._index(window)
+
+    def inbound_loss(self, dst: str, now: float) -> float:
+        """Drop probability for a packet arriving at ``dst`` at ``now``.
+
+        Overlapping windows combine as independent drops:
+        1 - prod(1 - p_i).
+        """
+        windows = self._by_target.get(dst)
+        if not windows:
+            return 0.0
+        survive = 1.0
+        for window in windows:
+            if window.active(now):
+                survive *= 1.0 - window.loss_fraction
+        return 1.0 - survive
+
+    def inbound_queue_delay(self, dst: str, now: float) -> float:
+        """Mean extra queueing delay for survivors arriving at ``dst``.
+
+        Overlapping windows add their delays (queues in series).
+        """
+        windows = self._by_target.get(dst)
+        if not windows:
+            return 0.0
+        return sum(
+            window.queue_delay for window in windows if window.active(now)
+        )
+
+    def any_active(self, now: float) -> bool:
+        return any(window.active(now) for window in self.windows)
+
+    def __repr__(self) -> str:
+        return f"<AttackSchedule windows={len(self.windows)}>"

@@ -1,0 +1,33 @@
+"""Host base class: an addressed participant on the emulated network."""
+
+from __future__ import annotations
+
+
+from repro.dnscore.message import Message
+from repro.netem.transport import Network, Packet
+from repro.simcore.simulator import Simulator
+
+
+class Host:
+    """A network endpoint with one address and a receive hook.
+
+    Subclasses (authoritative servers, recursives, stubs) override
+    :meth:`on_packet`. Construction registers the host on the network.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, address: str, name: str = "") -> None:
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.name = name or address
+        network.register(address, self.on_packet)
+
+    def send(self, dst: str, message: Message, transport: str = "udp") -> bool:
+        """Send a datagram (or TCP exchange) from this host's address."""
+        return self.network.send(self.address, dst, message, transport)
+
+    def on_packet(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} @{self.address}>"

@@ -1,0 +1,71 @@
+"""Negative caching per RFC 2308.
+
+NXDOMAIN and NODATA answers are cached for min(SOA TTL, SOA.minimum).
+The paper's test zone sets this to 60 s, which is why nonexistent
+AAAA-for-NS queries hammer the authoritatives far more than positive
+queries during a DDoS (§6.1, Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.dnscore.name import Name
+from repro.dnscore.rrtypes import Rcode, RRType
+
+NegKey = Tuple[Name, RRType]
+
+
+class NegativeEntry:
+    """A cached negative answer."""
+
+    __slots__ = ("rcode", "inserted_at", "expires_at")
+
+    def __init__(self, rcode: Rcode, inserted_at: float, ttl: int) -> None:
+        self.rcode = rcode
+        self.inserted_at = inserted_at
+        self.expires_at = inserted_at + ttl
+
+    def is_fresh(self, now: float) -> bool:
+        return now < self.expires_at
+
+
+class NegativeCache:
+    """Caches NXDOMAIN / NODATA outcomes keyed by (name, type).
+
+    NXDOMAIN is name-wide in principle; we key by (name, type) which is
+    how type-keyed caches (Unbound's msg cache) behave and is strictly
+    more conservative (never serves a wrong negative).
+    """
+
+    def __init__(self, max_ttl: int = 3600, max_entries: int = 100_000) -> None:
+        self.max_ttl = max_ttl
+        self.max_entries = max_entries
+        self._entries: Dict[NegKey, NegativeEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, name: Name, rtype: RRType, rcode: Rcode, ttl: int, now: float) -> None:
+        if rcode not in (Rcode.NXDOMAIN, Rcode.NOERROR):
+            raise ValueError(f"not a cacheable negative rcode: {rcode}")
+        ttl = min(ttl, self.max_ttl)
+        if len(self._entries) >= self.max_entries:
+            # Negative entries are short-lived; dropping the oldest is fine.
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[(name, rtype)] = NegativeEntry(rcode, now, ttl)
+
+    def get(self, name: Name, rtype: RRType, now: float) -> Optional[Rcode]:
+        entry = self._entries.get((name, rtype))
+        if entry is None or not entry.is_fresh(now):
+            if entry is not None:
+                del self._entries[(name, rtype)]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.rcode
+
+    def flush(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,65 @@
+"""Authoritative server selection: smoothed-RTT with exploration.
+
+Müller et al. (the authors' companion study [27]) found recursives prefer
+low-latency authoritatives but keep querying all of them for diversity.
+We reproduce that with BIND-style SRTT selection: pick the lowest
+smoothed RTT most of the time, explore others occasionally, decay
+penalties so failed servers are eventually retried. (The decay keeps a DDoS
+survivor pool: resilience "as the strongest individual authoritative",
+paper §8.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+
+class ServerSelector:
+    """Per-resolver SRTT table over authoritative server addresses."""
+
+    # A timeout charges the server this RTT estimate (seconds).
+    TIMEOUT_PENALTY = 1.5
+    # Fraction of selections that explore a non-best server.
+    EXPLORE_PROBABILITY = 0.05
+    # Multiplicative decay applied to all estimates on each selection,
+    # slowly forgetting stale information (BIND decays SRTTs similarly).
+    DECAY = 0.98
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._srtt: Dict[str, float] = {}
+
+    def observe_rtt(self, server: str, rtt: float) -> None:
+        """Fold a measured RTT into the server's estimate (EWMA 0.7/0.3)."""
+        previous = self._srtt.get(server)
+        if previous is None:
+            self._srtt[server] = rtt
+        else:
+            self._srtt[server] = 0.7 * previous + 0.3 * rtt
+
+    def observe_timeout(self, server: str) -> None:
+        """Penalize a server that failed to answer."""
+        previous = self._srtt.get(server, self.TIMEOUT_PENALTY)
+        self._srtt[server] = max(previous * 2.0, self.TIMEOUT_PENALTY)
+
+    def estimate(self, server: str) -> float:
+        return self._srtt.get(server, 0.0)
+
+    def order(self, servers: Sequence[str]) -> List[str]:
+        """Servers best-first: unknown servers first (optimistic), then by
+        SRTT; a small exploration chance promotes a random server."""
+        if not servers:
+            return []
+        for server in servers:
+            if server in self._srtt:
+                self._srtt[server] *= self.DECAY
+        ordered = sorted(servers, key=lambda server: self._srtt.get(server, 0.0))
+        if len(ordered) > 1 and self._rng.random() < self.EXPLORE_PROBABILITY:
+            index = self._rng.randrange(1, len(ordered))
+            ordered[0], ordered[index] = ordered[index], ordered[0]
+        return ordered
+
+    def pick(self, servers: Sequence[str]) -> Optional[str]:
+        ordered = self.order(servers)
+        return ordered[0] if ordered else None

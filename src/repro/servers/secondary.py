@@ -1,0 +1,143 @@
+"""Secondary (slave) zone replication: SOA refresh / retry / expire.
+
+Nameserver replication (RFC 2182, cited by the paper's §2.2) usually
+means secondaries that copy the zone from a primary and keep serving it
+while the primary is unreachable — up to the SOA ``expire`` interval,
+after which they must stop answering authoritatively. This module
+models that lifecycle:
+
+* every ``refresh`` seconds the replica checks the primary's serial and
+  copies the zone when it advanced;
+* failed checks retry every ``retry`` seconds;
+* after ``expire`` seconds without a successful check the replica goes
+  stale and its server answers SERVFAIL (``enabled`` semantics are the
+  operator's choice; we model the RFC's "discard the zone").
+
+Reachability is pluggable so experiments can wire it to the attack
+schedule (a DDoS on the primary also blocks zone transfers).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Optional
+
+from repro.dnscore.name import Name
+from repro.dnscore.rrtypes import RRType
+from repro.dnscore.zone import LookupResult, Zone
+from repro.simcore.simulator import Simulator
+
+ReachabilityCheck = Callable[[], bool]
+
+
+class ZoneReplica:
+    """A secondary's view of a primary zone."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        primary: Zone,
+        reachable: Optional[ReachabilityCheck] = None,
+        transfer_delay: float = 0.05,
+    ) -> None:
+        self.sim = sim
+        self.primary = primary
+        self.reachable = reachable or (lambda: True)
+        self.transfer_delay = transfer_delay
+        self.zone: Zone = self._snapshot()
+        self.last_success = sim.now
+        self.transfers = 0
+        self.failed_checks = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Transfer mechanics
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Zone:
+        """Copy the primary's current contents (an AXFR)."""
+        replica = copy.deepcopy(self.primary)
+        return replica
+
+    @property
+    def serial(self) -> int:
+        return self.zone.serial
+
+    @property
+    def expired(self) -> bool:
+        """True once the SOA expire interval passed without contact."""
+        expire = self.zone.soa_record.rdata.expire
+        return self.sim.now - self.last_success > expire
+
+    def check_now(self) -> bool:
+        """One SOA check (+ transfer if the primary moved). Returns
+        success (the primary was reachable)."""
+        if not self.reachable():
+            self.failed_checks += 1
+            return False
+        self.last_success = self.sim.now
+        if self.primary.serial != self.zone.serial:
+            self.zone = self._snapshot()
+            self.transfers += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def start(self, duration: float) -> None:
+        """Schedule the refresh/retry loop for ``duration`` seconds."""
+        if self._running:
+            raise RuntimeError("replica already started")
+        self._running = True
+        self.sim.call_later(self._next_interval(True), self._tick, duration)
+
+    def _next_interval(self, success: bool) -> float:
+        soa = self.zone.soa_record.rdata
+        return float(soa.refresh if success else soa.retry)
+
+    def _tick(self, duration: float) -> None:
+        success = self.check_now()
+        interval = self._next_interval(success)
+        if self.sim.now + interval <= duration:
+            self.sim.call_later(interval, self._tick, duration)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def lookup(self, qname: Name, qtype: RRType) -> Optional[LookupResult]:
+        """Answer from the replica, or None once the zone expired
+        (callers turn None into SERVFAIL, per RFC 1035 §5)."""
+        if self.expired:
+            return None
+        return self.zone.lookup(qname, qtype)
+
+
+class SecondaryAuthoritativeServer:
+    """An authoritative server backed by a :class:`ZoneReplica`.
+
+    Wraps the regular server but answers SERVFAIL once the replica
+    expires, modeling RFC 2182 secondaries through a primary outage.
+    """
+
+    def __init__(self, server, replica: ZoneReplica) -> None:
+        from repro.servers.authoritative import AuthoritativeServer
+
+        if not isinstance(server, AuthoritativeServer):
+            raise TypeError("server must be an AuthoritativeServer")
+        self.server = server
+        self.replica = replica
+        server.zones = [replica.zone]
+        self._install_expiry_hook()
+
+    def _install_expiry_hook(self) -> None:
+        server = self.server
+        replica = self.replica
+        original_zone_for = server.zone_for
+
+        def zone_for(qname):
+            if replica.expired:
+                return None  # REFUSED/SERVFAIL path: zone discarded
+            # Serve whatever snapshot the replica currently holds.
+            server.zones = [replica.zone]
+            return original_zone_for(qname)
+
+        server.zone_for = zone_for

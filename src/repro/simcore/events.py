@@ -1,0 +1,96 @@
+"""Event queue primitives for the discrete-event simulator.
+
+Events are ordered by (time, sequence number) so simultaneous events run in
+the deterministic order they were scheduled, which keeps whole simulations
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback, cancellable until it fires.
+
+    Instances are returned by :meth:`repro.simcore.simulator.Simulator.at`
+    and :meth:`~repro.simcore.simulator.Simulator.call_later`; user code
+    only ever needs :meth:`cancel` and the read-only attributes.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent."""
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects.
+
+    Cancelled events stay in the heap and are skipped on pop; this is the
+    standard lazy-deletion pattern and keeps :meth:`Event.cancel` O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        event = Event(time, next(self._counter), callback, args, queue=self)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            # Fired events must not decrement the live count again if a
+            # late cancel() arrives, so detach them from the queue.
+            event._queue = None
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,174 @@
+"""Generator-based processes and signals on top of the simulator.
+
+A :class:`Process` wraps a generator that yields *wait commands*:
+
+* ``Timeout(dt)`` — resume after ``dt`` simulated seconds (resumes with
+  ``None``).
+* a :class:`Signal` — resume when the signal fires, with the fired value.
+* ``AnyOf(...)`` — resume when the first of several commands completes,
+  with an ``(index, value)`` pair; the losers are cancelled.
+
+This is the minimal process algebra the resolver and client loops need:
+periodic probing, query/timeout races, and staged retries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from repro.simcore.simulator import Simulator
+
+
+class Timeout:
+    """Wait command: sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay!r})"
+
+
+class Signal:
+    """A one-shot synchronization point carrying a value.
+
+    A signal may be fired at most once; firing resumes every process
+    waiting on it (and remembers the value for late waiters).
+    """
+
+    __slots__ = ("sim", "fired", "value", "_waiters")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking all waiters in FIFO order."""
+        if self.fired:
+            raise RuntimeError("signal already fired")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            # Wake via the event queue so resumption order with other
+            # same-instant events stays deterministic.
+            self.sim.call_later(0.0, waiter, value)
+
+    def add_waiter(self, callback) -> None:
+        """Register ``callback(value)`` to run when the signal fires."""
+        if self.fired:
+            self.sim.call_later(0.0, callback, self.value)
+        else:
+            self._waiters.append(callback)
+
+    def remove_waiter(self, callback) -> None:
+        """Deregister a waiter; no-op if absent or already fired."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+
+class AnyOf:
+    """Wait command: race several commands, resume with ``(index, value)``."""
+
+    __slots__ = ("commands",)
+
+    def __init__(self, *commands: Any) -> None:
+        if not commands:
+            raise ValueError("AnyOf needs at least one command")
+        self.commands = commands
+
+
+class Process:
+    """Drives a generator coroutine against the simulator clock.
+
+    The generator runs immediately on construction up to its first yield.
+    When the generator returns, :attr:`done` becomes True, :attr:`result`
+    holds its return value, and :attr:`finished` (a :class:`Signal`) fires
+    with that value so other processes can join on completion.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        name: str = "process",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._gen = generator
+        self.done = False
+        self.result: Any = None
+        self.finished = Signal(sim)
+        self._advance(None)
+
+    def _advance(self, value: Any) -> None:
+        if self.done:
+            return
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            self.finished.fire(stop.value)
+            return
+        self._arm(command)
+
+    def _arm(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self.sim.call_later(command.delay, self._advance, None)
+        elif isinstance(command, Signal):
+            command.add_waiter(self._advance)
+        elif isinstance(command, AnyOf):
+            self._arm_race(command.commands)
+        else:
+            raise TypeError(f"process {self.name!r} yielded {command!r}")
+
+    def _arm_race(self, commands: Iterable[Any]) -> None:
+        state = {"settled": False, "cleanups": []}
+
+        def settle(index: int, value: Any) -> None:
+            if state["settled"]:
+                return
+            state["settled"] = True
+            for cleanup in state["cleanups"]:
+                cleanup()
+            self._advance((index, value))
+
+        cleanups: List = state["cleanups"]
+        for index, command in enumerate(commands):
+            if isinstance(command, Timeout):
+                event = self.sim.call_later(
+                    command.delay, settle, index, None
+                )
+                cleanups.append(event.cancel)
+            elif isinstance(command, Signal):
+                def waiter(value: Any, index: int = index) -> None:
+                    settle(index, value)
+
+                command.add_waiter(waiter)
+                cleanups.append(
+                    lambda command=command, waiter=waiter: command.remove_waiter(
+                        waiter
+                    )
+                )
+            else:
+                raise TypeError(
+                    f"AnyOf in process {self.name!r} got {command!r}"
+                )
+
+
+def spawn(
+    sim: Simulator,
+    generator: Generator[Any, Any, Any],
+    name: Optional[str] = None,
+) -> Process:
+    """Convenience wrapper: start ``generator`` as a named process."""
+    return Process(sim, generator, name=name or getattr(generator, "__name__", "process"))

@@ -1,0 +1,103 @@
+"""The simulation kernel: a virtual clock driving an event queue."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simcore.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g., scheduling in the past)."""
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator.
+
+    Time is a float in seconds, starting at 0. Callbacks scheduled for the
+    same instant run in scheduling order. The kernel never advances the
+    clock past ``until`` when one is given to :meth:`run`.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.call_later(5.0, fired.append, 1)
+        >>> sim.run()
+        >>> (sim.now, fired)
+        (5.0, [1])
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_later(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self.now + delay, callback, args)
+
+    def at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, clock already at {self.now!r}"
+            )
+        return self._queue.push(time, callback, args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or the clock hits ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until`` even
+        if the queue drained earlier, so repeated ``run(until=...)`` calls
+        advance time monotonically.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self.now = event.time
+                self.events_processed += 1
+                event.callback(*event.args)
+            if until is not None and until > self.now and not self._stopped:
+                self.now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Process a single event. Returns False if the queue was empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.now = event.time
+        self.events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return len(self._queue)

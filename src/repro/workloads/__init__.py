@@ -1,0 +1,22 @@
+"""Synthetic passive-trace workloads for the §4 production-zone analyses.
+
+The paper's §4 uses two private datasets: six hours of queries at the
+``.nl`` authoritatives (ENTRADA) and the 2017 DITL day of root-server
+traffic (DNS-OARC). Both are unavailable (privacy), so these generators
+synthesize traces with the same behavioral components the paper
+identifies — TTL-honoring refreshers, happy-eyeballs parallel queriers,
+cache-limited re-askers, and heavy-tailed abusers — and the analysis
+code (identical to the paper's: per-source inter-arrival medians, ECDFs,
+per-source query counts) is run against them.
+"""
+
+from repro.workloads.ditl import DitlConfig, generate_ditl_counts
+from repro.workloads.nl_trace import NlTraceConfig, TraceQuery, generate_nl_trace
+
+__all__ = [
+    "DitlConfig",
+    "NlTraceConfig",
+    "TraceQuery",
+    "generate_ditl_counts",
+    "generate_nl_trace",
+]

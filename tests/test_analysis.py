@@ -1,0 +1,82 @@
+"""Unit tests for presentation helpers: ECDF, tables, figure renderers."""
+
+import pytest
+
+from repro.analysis.ecdf import Ecdf
+from repro.analysis.figures import render_series, render_timeseries_table, sparkline
+from repro.analysis.tables import render_kv_table, render_matrix
+
+
+def test_ecdf_at_and_quantile():
+    ecdf = Ecdf([1.0, 2.0, 3.0, 4.0])
+    assert ecdf.at(0.5) == 0.0
+    assert ecdf.at(2.0) == 0.5
+    assert ecdf.at(4.0) == 1.0
+    assert ecdf.quantile(0.0) == 1.0
+    assert ecdf.quantile(1.0) == 4.0
+    assert ecdf.quantile(0.5) in (2.0, 3.0)
+
+
+def test_ecdf_rejects_empty_and_bad_quantile():
+    with pytest.raises(ValueError):
+        Ecdf([])
+    with pytest.raises(ValueError):
+        Ecdf([1.0]).quantile(1.5)
+
+
+def test_ecdf_points_monotone():
+    ecdf = Ecdf([1.0, 5.0, 9.0, 9.0, 10.0])
+    points = ecdf.points(10)
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert ys[-1] == 1.0
+
+
+def test_ecdf_points_degenerate_sample():
+    assert Ecdf([3.0, 3.0]).points() == [(3.0, 1.0)]
+
+
+def test_render_kv_table_with_paper_column():
+    text = render_kv_table(
+        "Table X", [("AA", 10), ("CC", 20)], paper={"AA": 12}
+    )
+    assert "Table X" in text
+    assert "measured" in text and "paper" in text
+    assert "12" in text and "20" in text
+
+
+def test_render_matrix_alignment():
+    text = render_matrix(
+        "M", ["c1", "c2"], [("row1", [1, 2]), ("row2", [3, 4])]
+    )
+    lines = text.splitlines()
+    assert lines[0] == "M"
+    assert "c1" in lines[2] and "c2" in lines[2]
+    assert "row1" in lines[3]
+
+
+def test_render_timeseries_table_marks_attack_rounds():
+    series = {0: {"ok": 5}, 1: {"ok": 2}}
+    text = render_timeseries_table(
+        "F", series, ["ok"], attack_rounds=[1]
+    )
+    lines = text.splitlines()
+    assert lines[-1].endswith("*")
+    assert not lines[-2].endswith("*")
+
+
+def test_render_series_formats_floats_and_ints():
+    text = render_series("S", [(1, 2.5), (2, 3.0)], ["round", "value"])
+    assert "2.5" in text
+    assert "round" in text
+
+
+def test_sparkline_shapes():
+    line = sparkline([0, 1, 2, 3, 4])
+    assert len(line) == 5
+    assert line[0] == " " or line[0] == "▁"
+    assert line[-1] == "█"
+    assert sparkline([]) == ""
+    assert sparkline([0, 0]) == "  "

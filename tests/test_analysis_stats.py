@@ -1,0 +1,93 @@
+"""Unit tests for multi-seed statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    SeedSweep,
+    confidence_interval_95,
+    mean,
+    run_over_seeds,
+    sample_std,
+)
+
+
+def test_mean_and_std():
+    assert mean([2.0, 4.0, 6.0]) == 4.0
+    assert sample_std([2.0, 4.0, 6.0]) == pytest.approx(2.0)
+    assert sample_std([5.0]) == 0.0
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        mean([])
+    with pytest.raises(ValueError):
+        sample_std([])
+
+
+def test_ci_single_value_degenerate():
+    assert confidence_interval_95([3.0]) == (3.0, 3.0)
+
+
+def test_ci_contains_mean_and_widens_with_variance():
+    tight = confidence_interval_95([10.0, 10.1, 9.9, 10.0])
+    loose = confidence_interval_95([10.0, 14.0, 6.0, 10.0])
+    assert tight[0] <= 10.0 <= tight[1]
+    assert loose[1] - loose[0] > tight[1] - tight[0]
+
+
+def test_ci_known_value():
+    # n=4, mean 10, std 1: margin = 3.182 * 1 / 2 = 1.591.
+    values = [9.0, 9.5, 10.5, 11.0]
+    low, high = confidence_interval_95(values)
+    assert low == pytest.approx(10.0 - 3.182 * sample_std(values) / 2)
+    assert high == pytest.approx(10.0 + 3.182 * sample_std(values) / 2)
+
+
+def test_seed_sweep_summary():
+    sweep = SeedSweep("metric", [1, 2, 3], [0.4, 0.42, 0.38])
+    assert sweep.mean == pytest.approx(0.4)
+    assert sweep.contains(0.4)
+    assert not sweep.contains(0.9)
+    assert "±" in repr(sweep)
+
+
+def test_run_over_seeds_runs_once_per_seed():
+    calls = []
+
+    def run(seed):
+        calls.append(seed)
+        return {"value": seed * 10}
+
+    sweeps = run_over_seeds(
+        run,
+        {"tens": lambda result: result["value"], "ones": lambda result: 1},
+        seeds=[1, 2, 3],
+    )
+    assert calls == [1, 2, 3]
+    assert sweeps["tens"].values == [10.0, 20.0, 30.0]
+    assert sweeps["ones"].mean == 1.0
+
+
+def test_run_over_seeds_requires_seeds():
+    with pytest.raises(ValueError):
+        run_over_seeds(lambda seed: seed, {"x": float}, seeds=[])
+
+
+def test_run_over_seeds_with_real_experiment():
+    """Replicated Experiment E at tiny scale: failure fraction is stable
+    across seeds, and caching keeps it low."""
+    from repro.core.experiments import DDOS_EXPERIMENTS, run_ddos
+
+    def run(seed):
+        return run_ddos(DDOS_EXPERIMENTS["E"], probe_count=80, seed=seed)
+
+    sweeps = run_over_seeds(
+        run,
+        {
+            "fail_during": lambda result: result.failure_fraction_during_attack(),
+        },
+        seeds=[1, 2, 3],
+    )
+    sweep = sweeps["fail_during"]
+    assert 0.0 <= sweep.mean < 0.25
+    assert sweep.std < 0.1

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["ddos", "Z"])
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_cli_software(capsys):
+    assert main(["software"]) == 0
+    output = capsys.readouterr().out
+    assert "bind" in output and "unbound" in output
+    assert "resolved=True" in output
+
+
+def test_cli_software_attack(capsys):
+    assert main(["software", "--attack"]) == 0
+    output = capsys.readouterr().out
+    assert "resolved=False" in output
+
+
+def test_cli_ddos_small(capsys):
+    assert main(["ddos", "E", "--probes", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "failures during attack" in output
+    assert "amplification" in output
+
+
+def test_cli_baseline_small(capsys):
+    assert main(["baseline", "60", "--probes", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "cache-miss rate" in output
+    assert "Table 3" in output
+
+
+def test_cli_probe_case(capsys):
+    assert main(["probe-case"]) == 0
+    output = capsys.readouterr().out
+    assert "queries per client query" in output
+
+
+def test_cli_glue_small(capsys):
+    assert main(["glue", "--probes", "80"]) == 0
+    output = capsys.readouterr().out
+    assert "child-TTL fraction" in output
+    assert "bind cache" in output
+
+
+def test_cli_export_and_analyze_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["ddos", "E", "--probes", "50", "--export-trace", str(trace_path)]) == 0
+    assert trace_path.exists()
+    capsys.readouterr()
+    assert main(["analyze-trace", str(trace_path), "--ttl", "1800"]) == 0
+    output = capsys.readouterr().out
+    assert "Trace analysis" in output
+    assert "Total queries" in output
+
+
+def test_cli_report_tiny(tmp_path, capsys):
+    output = tmp_path / "report.md"
+    assert main(
+        [
+            "report",
+            "--baseline-probes", "60",
+            "--ddos-probes", "60",
+            "--output", str(output),
+        ]
+    ) == 0
+    text = output.read_text()
+    assert "# EXPERIMENTS — paper vs measured" in text
+    assert "Table 3 miss attribution" in text
+    assert "Figure 16" in text
+
+
+def test_cli_sweep_tiny(tmp_path, capsys):
+    csv_path = tmp_path / "surface.csv"
+    assert main(
+        [
+            "sweep",
+            "--losses", "0.9",
+            "--ttls", "60,1800",
+            "--probes", "60",
+            "--csv", str(csv_path),
+        ]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "failure fraction during attack" in output
+    assert csv_path.read_text().startswith("loss,ttl,")

@@ -1,0 +1,155 @@
+"""Unit tests for the vantage-point population builder."""
+
+import pytest
+
+from repro.clients.population import (
+    PopulationConfig,
+    ProfileShares,
+    build_population,
+)
+from repro.clients.publicdns import default_public_services
+from repro.dnscore.name import Name
+from repro.netem.link import PerHostLatency
+from repro.netem.transport import Network
+from repro.simcore.rng import RandomStreams
+from repro.simcore.simulator import Simulator
+
+
+def build(probe_count=200, seed=5, **config_kwargs):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    latency = PerHostLatency()
+    network = Network(sim, streams, latency=latency)
+    config = PopulationConfig(probe_count=probe_count, **config_kwargs)
+    population = build_population(
+        sim,
+        network,
+        streams,
+        root_hints=["193.0.0.1"],
+        config=config,
+        latency=latency,
+        zone_origin=Name.from_text("cachetest.nl."),
+    )
+    return population
+
+
+def test_probe_count_and_vp_ratio():
+    population = build(probe_count=300)
+    assert len(population.probes) == 300
+    # Mean recursives/probe ~1.65: total VPs within a loose band.
+    assert 300 * 1.3 < population.vp_count < 300 * 2.1
+
+
+def test_unique_query_names_per_probe():
+    population = build(probe_count=100)
+    names = {str(probe.qname) for probe in population.probes}
+    assert len(names) == 100
+    assert "1.cachetest.nl." in names
+
+
+def test_profile_mix_present():
+    population = build(probe_count=400)
+    kinds = [kind for probe in population.probes for kind in probe.r1_kinds]
+    present = set(kinds)
+    for expected in ("isp", "cluster", "forwarder", "public"):
+        assert expected in present, f"no {expected} VPs in population"
+
+
+def test_public_share_calibrated():
+    population = build(probe_count=600)
+    kinds = [kind for probe in population.probes for kind in probe.r1_kinds]
+    public_fraction = kinds.count("public") / len(kinds)
+    # Configured service shares sum to 0.30 of the ~1.06 total weight.
+    assert 0.18 < public_fraction < 0.40
+
+
+def test_broken_probes_fraction():
+    population = build(probe_count=600)
+    broken = [
+        probe
+        for probe in population.probes
+        if "broken" in probe.r1_kinds
+    ]
+    fraction = len(broken) / len(population.probes)
+    assert 0.005 < fraction < 0.08
+
+
+def test_registry_knows_public_services():
+    population = build(probe_count=100)
+    registry = population.registry
+    google_pool = next(
+        pool for pool in population.pools if pool.name == "google"
+    )
+    assert registry.is_public(google_pool.address)
+    assert registry.is_google(google_pool.address)
+    for backend in google_pool.backends:
+        assert registry.is_public_egress(backend.address)
+        assert registry.is_google(backend.address)
+    # ISP clusters are NOT public.
+    cluster = next(
+        (pool for pool in population.pools if pool.name.startswith("cluster")),
+        None,
+    )
+    if cluster is not None:
+        assert not registry.is_public(cluster.address)
+
+
+def test_no_duplicate_r1_within_probe():
+    population = build(probe_count=400)
+    for probe in population.probes:
+        if "broken" in probe.r1_kinds:
+            continue
+        assert len(set(probe.stub.recursives)) == len(probe.stub.recursives)
+
+
+def test_deterministic_given_seed():
+    first = build(probe_count=100, seed=9)
+    second = build(probe_count=100, seed=9)
+    assert [probe.stub.recursives for probe in first.probes] == [
+        probe.stub.recursives for probe in second.probes
+    ]
+
+
+def test_different_seed_differs():
+    first = build(probe_count=100, seed=9)
+    second = build(probe_count=100, seed=10)
+    assert [probe.stub.recursives for probe in first.probes] != [
+        probe.stub.recursives for probe in second.probes
+    ]
+
+
+def test_schedule_rounds_spreads_queries():
+    population = build(probe_count=50)
+    rng = RandomStreams(1).stream("probing")
+    population.schedule_rounds(0.0, 600.0, 2, 300.0, rng)
+    # 2 rounds x 50 probes scheduled.
+    assert population.sim.pending() == 100
+
+
+def test_cache_churn_scheduling():
+    population = build(probe_count=100, flush_rate_per_hour=10.0)
+    rng = RandomStreams(2).stream("churn")
+    scheduled = population.schedule_cache_churn(3600.0, rng)
+    assert scheduled > 0
+
+
+def test_zero_churn_rate():
+    population = build(probe_count=50, flush_rate_per_hour=0.0)
+    rng = RandomStreams(2).stream("churn")
+    assert population.schedule_cache_churn(3600.0, rng) == 0
+
+
+def test_custom_shares_respected():
+    shares = ProfileShares(isp_direct=1.0, isp_cluster=0.0, forwarder=0.0)
+    services = default_public_services()
+    for service in services:
+        service.vp_share = 0.0
+    population = build(
+        probe_count=200,
+        shares=shares,
+        public_services=services,
+        broken_probe_fraction=0.0,
+        refusing_r1_fraction=0.0,
+    )
+    kinds = {kind for probe in population.probes for kind in probe.r1_kinds}
+    assert kinds == {"isp"}

@@ -1,0 +1,82 @@
+"""Unit tests for DNS messages."""
+
+from repro.dnscore.message import Message, Question, make_query, make_response
+from repro.dnscore.name import Name
+from repro.dnscore.records import NS, SOA, A, ResourceRecord
+from repro.dnscore.rrtypes import Rcode, RRType
+
+ZONE = Name.from_text("cachetest.nl.")
+QNAME = Name.from_text("1414.cachetest.nl.")
+
+
+def test_make_query_sets_rd_and_question():
+    query = make_query(QNAME, RRType.AAAA)
+    assert query.rd
+    assert not query.qr
+    assert query.question == Question(QNAME, RRType.AAAA)
+
+
+def test_message_ids_unique_within_flight():
+    ids = {make_query(QNAME, RRType.A).msg_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_make_response_echoes_id_question_rd():
+    query = make_query(QNAME, RRType.AAAA)
+    response = make_response(query, rcode=Rcode.NXDOMAIN)
+    assert response.msg_id == query.msg_id
+    assert response.qr
+    assert response.rd == query.rd
+    assert response.question == query.question
+    assert response.rcode == Rcode.NXDOMAIN
+
+
+def test_referral_detection():
+    query = make_query(QNAME, RRType.AAAA)
+    ns = ResourceRecord(ZONE, 3600, NS(Name.from_text("ns1.cachetest.nl.")))
+    referral = make_response(query, authority=[ns])
+    assert referral.is_referral()
+
+    authoritative = make_response(query, aa=True, authority=[ns])
+    assert not authoritative.is_referral()
+
+    answer_record = ResourceRecord(QNAME, 60, A("192.0.2.1"))
+    with_answer = make_response(query, answers=[answer_record], authority=[ns])
+    assert not with_answer.is_referral()
+
+
+def test_referral_requires_ns_in_authority():
+    query = make_query(QNAME, RRType.AAAA)
+    soa = ResourceRecord(ZONE, 60, SOA(ZONE, ZONE, 1, minimum=60))
+    negative = make_response(query, authority=[soa])
+    assert not negative.is_referral()
+
+
+def test_answer_rrset_filters_matching_records():
+    query = make_query(QNAME, RRType.A)
+    matching = ResourceRecord(QNAME, 60, A("192.0.2.1"))
+    unrelated = ResourceRecord(ZONE, 60, A("192.0.2.2"))
+    response = make_response(query, answers=[matching, unrelated])
+    rrset = response.answer_rrset()
+    assert rrset is not None
+    assert len(rrset) == 1
+    assert rrset.records[0] == matching
+
+
+def test_answer_rrset_none_when_empty():
+    query = make_query(QNAME, RRType.A)
+    assert make_response(query).answer_rrset() is None
+
+
+def test_soa_minimum_ttl_is_min_of_ttl_and_minimum():
+    query = make_query(QNAME, RRType.AAAA)
+    soa_low_minimum = ResourceRecord(ZONE, 3600, SOA(ZONE, ZONE, 1, minimum=60))
+    assert make_response(query, authority=[soa_low_minimum]).soa_minimum_ttl() == 60
+    soa_low_ttl = ResourceRecord(ZONE, 30, SOA(ZONE, ZONE, 1, minimum=600))
+    assert make_response(query, authority=[soa_low_ttl]).soa_minimum_ttl() == 30
+    assert make_response(query).soa_minimum_ttl() is None
+
+
+def test_message_id_masked_to_16_bits():
+    message = Message(0x12345, Question(QNAME, RRType.A))
+    assert message.msg_id == 0x2345

@@ -1,0 +1,184 @@
+"""Unit tests for zone data and RFC 1034 lookup semantics."""
+
+import pytest
+
+from repro.dnscore.name import Name
+from repro.dnscore.records import AAAA, DS, NS, SOA, A, ResourceRecord
+from repro.dnscore.rrtypes import Rcode, RRType
+from repro.dnscore.zone import LookupStatus, Zone
+
+
+def make_zone(origin="nl.") -> Zone:
+    origin_name = Name.from_text(origin)
+    soa = SOA(
+        Name.from_text(f"ns1.{origin}"),
+        Name.from_text(f"hostmaster.{origin}"),
+        1,
+        minimum=60,
+    )
+    return Zone(origin_name, soa)
+
+
+def test_exact_answer():
+    zone = make_zone()
+    name = Name.from_text("www.nl.")
+    zone.add(name, 300, A("192.0.2.1"))
+    result = zone.lookup(name, RRType.A)
+    assert result.status == LookupStatus.ANSWER
+    assert result.aa
+    assert result.rcode == Rcode.NOERROR
+    assert [record.rdata.address for record in result.answers] == ["192.0.2.1"]
+
+
+def test_nxdomain_carries_soa():
+    zone = make_zone()
+    result = zone.lookup(Name.from_text("missing.nl."), RRType.A)
+    assert result.status == LookupStatus.NXDOMAIN
+    assert result.rcode == Rcode.NXDOMAIN
+    assert any(record.rtype == RRType.SOA for record in result.authority)
+
+
+def test_nodata_when_name_exists_with_other_type():
+    zone = make_zone()
+    name = Name.from_text("www.nl.")
+    zone.add(name, 300, A("192.0.2.1"))
+    result = zone.lookup(name, RRType.AAAA)
+    assert result.status == LookupStatus.NODATA
+    assert result.rcode == Rcode.NOERROR
+    assert any(record.rtype == RRType.SOA for record in result.authority)
+
+
+def test_empty_non_terminal_is_nodata_not_nxdomain():
+    zone = make_zone()
+    zone.add(Name.from_text("a.b.nl."), 300, A("192.0.2.1"))
+    result = zone.lookup(Name.from_text("b.nl."), RRType.A)
+    assert result.status == LookupStatus.NODATA
+
+
+def test_referral_for_names_below_cut():
+    zone = make_zone()
+    cut = Name.from_text("example.nl.")
+    ns_host = Name.from_text("ns1.example.nl.")
+    zone.add(cut, 3600, NS(ns_host))
+    zone.add(ns_host, 3600, A("192.0.2.53"))
+    result = zone.lookup(Name.from_text("deep.example.nl."), RRType.AAAA)
+    assert result.status == LookupStatus.REFERRAL
+    assert not result.aa
+    assert [record.name for record in result.authority] == [cut]
+    # Glue travels in additional.
+    assert any(
+        record.name == ns_host and record.rtype == RRType.A
+        for record in result.additional
+    )
+
+
+def test_referral_for_cut_itself():
+    zone = make_zone()
+    cut = Name.from_text("example.nl.")
+    zone.add(cut, 3600, NS(Name.from_text("ns1.example.nl.")))
+    result = zone.lookup(cut, RRType.NS)
+    assert result.status == LookupStatus.REFERRAL
+    assert not result.aa
+
+
+def test_ds_at_cut_answered_from_parent():
+    zone = make_zone()
+    cut = Name.from_text("example.nl.")
+    zone.add(cut, 3600, NS(Name.from_text("ns1.example.nl.")))
+    zone.add(cut, 3600, DS(12345, 8, 2, b"\x01" * 32))
+    result = zone.lookup(cut, RRType.DS)
+    assert result.status == LookupStatus.ANSWER
+    assert result.aa
+    assert result.answers[0].rtype == RRType.DS
+
+
+def test_ds_at_cut_without_record_is_nodata():
+    zone = make_zone()
+    cut = Name.from_text("example.nl.")
+    zone.add(cut, 3600, NS(Name.from_text("ns1.example.nl.")))
+    result = zone.lookup(cut, RRType.DS)
+    assert result.status == LookupStatus.NODATA
+
+
+def test_apex_ns_is_authoritative_answer():
+    zone = make_zone()
+    zone.add(Name.from_text("nl."), 3600, NS(Name.from_text("ns1.dns.nl.")))
+    result = zone.lookup(Name.from_text("nl."), RRType.NS)
+    assert result.status == LookupStatus.ANSWER
+    assert result.aa
+
+
+def test_out_of_zone_query():
+    zone = make_zone()
+    result = zone.lookup(Name.from_text("example.com."), RRType.A)
+    assert result.status == LookupStatus.OUT_OF_ZONE
+
+
+def test_add_out_of_zone_record_rejected():
+    zone = make_zone()
+    with pytest.raises(ValueError):
+        zone.add(Name.from_text("example.com."), 60, A("192.0.2.1"))
+
+
+def test_serial_bump_and_soa_query():
+    zone = make_zone()
+    assert zone.serial == 1
+    zone.set_serial(17)
+    assert zone.serial == 17
+    result = zone.lookup(Name.from_text("nl."), RRType.SOA)
+    assert result.status == LookupStatus.ANSWER
+    assert result.answers[0].rdata.serial == 17
+
+
+def test_synthesizer_answers_and_negative():
+    zone = make_zone()
+
+    def synth(qname, qtype):
+        labels = qname.relativize(zone.origin)
+        if len(labels) != 1 or not labels[0].isdigit():
+            return None
+        if qtype != RRType.AAAA:
+            return []
+        return [
+            ResourceRecord(qname, 60, AAAA("2001:db8::1")),
+        ]
+
+    zone.synthesizer = synth
+    ok = zone.lookup(Name.from_text("1414.nl."), RRType.AAAA)
+    assert ok.status == LookupStatus.ANSWER
+    nodata = zone.lookup(Name.from_text("1414.nl."), RRType.A)
+    assert nodata.status == LookupStatus.NODATA
+    nxdomain = zone.lookup(Name.from_text("bogus.nl."), RRType.AAAA)
+    assert nxdomain.status == LookupStatus.NXDOMAIN
+
+
+def test_stored_record_preferred_over_synthesizer():
+    zone = make_zone()
+    name = Name.from_text("42.nl.")
+    zone.add(name, 60, AAAA("2001:db8::42"))
+    zone.synthesizer = lambda qname, qtype: [
+        ResourceRecord(qname, 60, AAAA("2001:db8::bad"))
+    ]
+    result = zone.lookup(name, RRType.AAAA)
+    assert result.answers[0].rdata.address == "2001:db8::42"
+
+
+def test_cname_returned_for_other_types():
+    from repro.dnscore.records import CNAME
+
+    zone = make_zone()
+    alias = Name.from_text("www.nl.")
+    zone.add(alias, 300, CNAME(Name.from_text("web.nl.")))
+    result = zone.lookup(alias, RRType.A)
+    assert result.status == LookupStatus.ANSWER
+    assert result.answers[0].rtype == RRType.CNAME
+
+
+def test_delegations_listing():
+    zone = make_zone()
+    zone.add(Name.from_text("b.nl."), 3600, NS(Name.from_text("ns.b.nl.")))
+    zone.add(Name.from_text("a.nl."), 3600, NS(Name.from_text("ns.a.nl.")))
+    assert zone.delegations() == [
+        Name.from_text("a.nl."),
+        Name.from_text("b.nl."),
+    ]

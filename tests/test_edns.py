@@ -1,0 +1,115 @@
+"""Tests for EDNS0 (RFC 6891): OPT pseudo-record and payload negotiation."""
+
+import pytest
+
+from repro.dnscore.message import make_query, make_response
+from repro.dnscore.name import Name
+from repro.dnscore.records import TXT
+from repro.dnscore.rrtypes import RRType
+from repro.dnscore.wire import from_wire, to_wire, upper_bound_size
+from repro.resolvers.recursive import RecursiveResolver, ResolverConfig
+
+BIG_NAME = Name.from_text("big.cachetest.nl.")
+QNAME = Name.from_text("1414.cachetest.nl.")
+
+
+def add_big_rrset(world, chunks=8):
+    for index in range(chunks):
+        world.test_zone.add(BIG_NAME, 300, TXT([f"chunk-{index:02d}-" + "x" * 90]))
+
+
+def test_opt_record_roundtrips_on_wire():
+    query = make_query(QNAME, RRType.AAAA, edns_payload=1232)
+    decoded = from_wire(to_wire(query))
+    assert decoded.edns_payload == 1232
+    assert decoded.additional == []  # OPT is a pseudo-record, not data
+
+
+def test_no_opt_without_edns():
+    query = make_query(QNAME, RRType.AAAA)
+    decoded = from_wire(to_wire(query))
+    assert decoded.edns_payload is None
+
+
+def test_upper_bound_accounts_for_opt():
+    plain = make_query(QNAME, RRType.AAAA)
+    edns = make_query(QNAME, RRType.AAAA, msg_id=plain.msg_id, edns_payload=1232)
+    assert upper_bound_size(edns) >= upper_bound_size(plain) + 11
+    assert upper_bound_size(edns) >= len(to_wire(edns))
+
+
+def test_edns_response_echoes_server_limit(world):
+    received = []
+    world.network.register("10.0.0.60", received.append)
+    world.network.send(
+        "10.0.0.60",
+        world.AT1,
+        make_query(QNAME, RRType.AAAA, edns_payload=4096),
+    )
+    world.sim.run(until=1.0)
+    response = received[0].message
+    assert response.edns_payload == world.at1.edns_payload_limit
+
+
+def test_edns_avoids_truncation_for_midsize_answers(world):
+    add_big_rrset(world)  # ~900 bytes on the wire: over 512, under 1232
+    received = []
+    world.network.register("10.0.0.60", received.append)
+    # Plain DNS: truncated.
+    world.network.send(
+        "10.0.0.60", world.AT1, make_query(BIG_NAME, RRType.TXT)
+    )
+    # EDNS 1232: served whole over UDP.
+    world.network.send(
+        "10.0.0.60",
+        world.AT1,
+        make_query(BIG_NAME, RRType.TXT, edns_payload=1232),
+    )
+    world.sim.run(until=1.0)
+    plain_response = received[0].message
+    edns_response = received[1].message
+    assert plain_response.tc
+    assert not edns_response.tc
+    assert len(edns_response.answers) == 8
+
+
+def test_edns_capped_by_server_limit(world):
+    # A response larger than the server's 1232-byte cap still truncates
+    # even when the client advertises more.
+    add_big_rrset(world, chunks=16)  # ~1.7 KB
+    received = []
+    world.network.register("10.0.0.60", received.append)
+    world.network.send(
+        "10.0.0.60",
+        world.AT1,
+        make_query(BIG_NAME, RRType.TXT, edns_payload=65000),
+    )
+    world.sim.run(until=1.0)
+    assert received[0].message.tc
+
+
+def test_edns_resolver_skips_tcp_fallback(world):
+    add_big_rrset(world)
+    config = ResolverConfig()
+    config.edns_payload = 1232
+    resolver = RecursiveResolver(
+        world.sim, world.network, "100.64.0.1", world.root_hints, config=config
+    )
+    outcomes = []
+    world.sim.call_later(0.0, resolver.resolve, BIG_NAME, RRType.TXT, outcomes.append)
+    world.sim.run(until=30.0)
+    assert outcomes and outcomes[0].is_success
+    assert len(outcomes[0].records) == 8
+    assert resolver.tcp_fallbacks == 0
+
+
+def test_plain_resolver_needs_tcp_for_same_answer(world):
+    add_big_rrset(world)
+    resolver = RecursiveResolver(
+        world.sim, world.network, "100.64.0.2", world.root_hints
+    )
+    outcomes = []
+    world.sim.call_later(0.0, resolver.resolve, BIG_NAME, RRType.TXT, outcomes.append)
+    world.sim.run(until=30.0)
+    assert outcomes and outcomes[0].is_success
+    assert resolver.tcp_fallbacks == 1

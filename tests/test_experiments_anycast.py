@@ -1,0 +1,66 @@
+"""Tests for the anycast-site study (§8 mechanics)."""
+
+import pytest
+
+from repro.core.experiments.anycast_study import AnycastSpec, run_anycast_study
+
+
+@pytest.fixture(scope="module")
+def plain():
+    return run_anycast_study(probe_count=200, seed=5)
+
+
+@pytest.fixture(scope="module")
+def withdrawn():
+    return run_anycast_study(
+        AnycastSpec(withdraw_after_min=20), probe_count=200, seed=5
+    )
+
+
+def test_catchments_partition_direct_vps(plain):
+    assert plain.answers_attacked_catchment
+    assert plain.answers_healthy_catchment
+    # Sites: 6 total, 3 attacked.
+    assert len(plain.site_addresses) == 6
+    assert len(plain.attacked_addresses) == 3
+
+
+def test_attack_is_uneven_across_catchments(plain):
+    """The paper's root-event observation: some catchments suffer badly,
+    others see little or nothing."""
+    attacked = plain.failure_during_attack("attacked")
+    healthy = plain.failure_during_attack("healthy")
+    assert attacked > healthy + 0.1
+    assert healthy < 0.1
+
+
+def test_attacked_catchment_cannot_fail_over(plain):
+    """One anycast NS address = no alternative server to hunt for: the
+    attacked catchment keeps a substantial failure level (contrast with
+    Experiment H where two nameserver addresses exist)."""
+    assert plain.failure_during_attack("attacked") > 0.15
+
+
+def test_withdrawal_rescues_attacked_catchment(plain, withdrawn):
+    """Route withdrawal re-homes clients onto healthy sites."""
+    assert (
+        withdrawn.failure_during_attack("attacked")
+        < plain.failure_during_attack("attacked") - 0.08
+    )
+    series = withdrawn.outcomes_by_round("attacked")
+    # After withdrawal (minute 80 = round 8): recovered.
+    late = series[9]
+    assert late["ok"] / sum(late.values()) > 0.9
+
+
+def test_recovery_after_attack(plain):
+    series = plain.outcomes_by_round("attacked")
+    last = series[max(series)]
+    assert last["ok"] / sum(last.values()) > 0.9
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ValueError):
+        run_anycast_study(
+            AnycastSpec(site_count=3, attacked_sites=3), probe_count=50
+        )

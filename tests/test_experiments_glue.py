@@ -1,0 +1,70 @@
+"""Integration tests for the Appendix A glue/TTL-precedence experiments."""
+
+import pytest
+
+from repro.core.experiments.glue import (
+    TtlBuckets,
+    run_cache_dump_study,
+    run_glue_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def glue_result():
+    return run_glue_experiment(probe_count=200, seed=5, rounds=2)
+
+
+def test_buckets_classify_correctly():
+    buckets = TtlBuckets()
+    for ttl in (4000, 3600, 1800, 60, 59, 0):
+        buckets.add(ttl, parent_ttl=3600, child_ttl=60)
+    assert buckets.total == 6
+    assert buckets.above_parent == 1
+    assert buckets.parent_exact == 1
+    assert buckets.between == 1
+    assert buckets.child_exact == 1
+    assert buckets.below_child == 2
+
+
+def test_majority_honors_child_ttl(glue_result):
+    # Paper Table 5: ~95% of answers carry the child's (authoritative)
+    # TTL for both NS and A records.
+    assert glue_result.ns_buckets.child_fraction > 0.85
+    assert glue_result.a_buckets.child_fraction > 0.85
+
+
+def test_minority_serves_parent_ttl(glue_result):
+    # A visible minority (serve-glue resolvers) returns the parent's TTL.
+    parentish = (
+        glue_result.ns_buckets.parent_exact + glue_result.ns_buckets.between
+    )
+    assert parentish > 0
+
+
+def test_no_ttls_above_parent(glue_result):
+    assert glue_result.ns_buckets.above_parent == 0
+    assert glue_result.a_buckets.above_parent == 0
+
+
+def test_rows_shape(glue_result):
+    rows = glue_result.ns_buckets.as_rows()
+    assert rows[0][0] == "Total Answers"
+    assert rows[0][1] == glue_result.ns_buckets.total
+
+
+@pytest.mark.parametrize("software", ["bind", "unbound"])
+def test_cache_dump_stores_child_value(software):
+    result = run_cache_dump_study(software)
+    assert result.answered
+    assert result.stored_child_value
+    # The dump contains the child's NS entry marked authoritative (the
+    # parent's referral NS for com. is cached too, as glue credibility).
+    ns_rows = [
+        row for row in result.dump if row[1] == "NS" and row[0] == "amazon.com."
+    ]
+    assert ns_rows and ns_rows[0][3] is True
+
+
+def test_cache_dump_unknown_software_rejected():
+    with pytest.raises(ValueError):
+        run_cache_dump_study("powerdns")

@@ -1,0 +1,77 @@
+"""Integration tests for the Appendix F single-probe case study."""
+
+import pytest
+
+from repro.core.experiments.probe_case import run_probe_case
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_probe_case(seed=11, rounds=10, attack_rounds=(4, 8))
+
+
+def test_topology_is_figure_17(result):
+    assert len(result.r1_addresses) == 3
+    assert len(result.rn_addresses) == 8
+    assert len(result.at_addresses) == 2
+
+
+def test_normal_rounds_three_for_three(result):
+    normal = [row for row in result.rows if not row.during_attack]
+    assert normal, "no normal rounds"
+    for row in normal:
+        assert row.client_queries == 3
+        # Paper Table 7: normal operation answers everything via 3 R1s,
+        # with 3-6 queries at the authoritatives.
+        assert row.client_answers == 3
+        assert row.client_r1_count == 3
+        assert 3 <= row.auth_queries <= 8
+
+
+def test_attack_rounds_amplify_auth_queries(result):
+    attack = [row for row in result.rows if row.during_attack]
+    normal = [row for row in result.rows if not row.during_attack]
+    mean_attack = sum(row.auth_queries for row in attack) / len(attack)
+    mean_normal = sum(row.auth_queries for row in normal) / len(normal)
+    # Paper: 3–6 queries normal vs 11–29 during the attack.
+    assert mean_attack > mean_normal * 3
+
+
+def test_client_still_mostly_served_during_attack(result):
+    attack = [row for row in result.rows if row.during_attack]
+    served = sum(row.client_answers for row in attack)
+    offered = sum(row.client_queries for row in attack)
+    # Paper: 2 of 3 queries still answered at 90% loss.
+    assert served / offered > 0.4
+
+
+def test_more_rn_used_during_attack(result):
+    attack = [row for row in result.rows if row.during_attack]
+    normal = [row for row in result.rows if not row.during_attack]
+    mean_attack_rn = sum(row.rn_count for row in attack) / len(attack)
+    mean_normal_rn = sum(row.rn_count for row in normal) / len(normal)
+    assert mean_attack_rn > mean_normal_rn
+
+
+def test_top2_dominate_during_attack(result):
+    for row in result.rows:
+        if row.during_attack and row.auth_queries > 6:
+            top_share = sum(row.top2_queries) / row.auth_queries
+            assert top_share > 0.3
+            break
+    else:
+        pytest.skip("no heavy attack round in this small run")
+
+
+def test_amplification_summary(result):
+    summary = result.amplification_summary()
+    assert summary["attack_queries_per_client_query"] > (
+        summary["normal_queries_per_client_query"] * 3
+    )
+
+
+def test_rn_at_pairs_bounded(result):
+    for row in result.rows:
+        assert row.rn_at_pairs <= row.rn_count * row.at_count
+        assert row.at_count <= 2
+        assert row.rn_count <= 8

@@ -1,0 +1,48 @@
+"""Tests for the authoritative-selection study ([27], §8)."""
+
+import pytest
+
+from repro.core.experiments.selection_study import run_selection_study
+
+
+@pytest.fixture(scope="module")
+def normal():
+    return run_selection_study(resolutions=120, seed=9)
+
+
+@pytest.fixture(scope="module")
+def fast_dead():
+    return run_selection_study(resolutions=120, kill_fast=True, seed=9)
+
+
+def test_low_latency_server_preferred(normal):
+    assert normal.fast_share > 0.7
+
+
+def test_slow_server_still_probed(normal):
+    """Recursives keep querying all authoritatives for diversity [27]."""
+    assert normal.slow_queries > 0
+
+
+def test_all_resolutions_succeed(normal):
+    assert normal.successes == normal.resolutions
+
+
+def test_failover_to_surviving_server(fast_dead):
+    """Resilience matches the strongest authoritative (§8): with the
+    preferred server dead, everything lands on the survivor and clients
+    still succeed."""
+    assert fast_dead.successes == fast_dead.resolutions
+    # The delivered log shows only the survivor answering.
+    assert fast_dead.fast_queries == 0
+    assert fast_dead.slow_queries >= fast_dead.resolutions
+
+
+def test_preference_scales_with_latency_gap():
+    close = run_selection_study(
+        fast_latency=0.020, slow_latency=0.025, resolutions=120, seed=9
+    )
+    wide = run_selection_study(
+        fast_latency=0.005, slow_latency=0.200, resolutions=120, seed=9
+    )
+    assert wide.fast_share >= close.fast_share

@@ -1,0 +1,40 @@
+"""Unit tests for address allocation."""
+
+import pytest
+
+from repro.netem.address import AddressAllocator, default_allocator
+
+
+def test_allocation_is_sequential_and_unique():
+    allocator = AddressAllocator()
+    allocator.add_pool("p", "10.0.0.0/24")
+    first = allocator.allocate("p")
+    second = allocator.allocate("p")
+    assert first == "10.0.0.1"
+    assert second == "10.0.0.2"
+    assert first != second
+
+
+def test_unknown_pool_rejected():
+    with pytest.raises(KeyError):
+        AddressAllocator().allocate("nope")
+
+
+def test_pool_exhaustion():
+    allocator = AddressAllocator()
+    allocator.add_pool("tiny", "192.0.2.0/30")  # hosts .1 and .2
+    allocator.allocate("tiny")
+    allocator.allocate("tiny")
+    with pytest.raises(RuntimeError):
+        allocator.allocate("tiny")
+
+
+def test_default_allocator_pools_disjoint():
+    allocator = default_allocator()
+    seen = set()
+    for pool in ("probes", "recursives", "public", "authoritatives", "anycast"):
+        for _ in range(10):
+            address = allocator.allocate(pool)
+            assert address not in seen
+            seen.add(address)
+    assert allocator.allocated_count() == 50

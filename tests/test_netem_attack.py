@@ -1,0 +1,59 @@
+"""Unit tests for DDoS attack schedules."""
+
+import pytest
+
+from repro.netem.attack import AttackSchedule, AttackWindow
+
+
+def test_window_active_interval_half_open():
+    window = AttackWindow(["t"], 10.0, 20.0, 0.9)
+    assert not window.active(9.999)
+    assert window.active(10.0)
+    assert window.active(19.999)
+    assert not window.active(20.0)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        AttackWindow(["t"], 0.0, 10.0, 1.5)
+    with pytest.raises(ValueError):
+        AttackWindow(["t"], 10.0, 10.0, 0.5)
+
+
+def test_schedule_loss_per_target_and_time():
+    schedule = AttackSchedule(
+        [AttackWindow(["a", "b"], 100.0, 200.0, 0.75)]
+    )
+    assert schedule.inbound_loss("a", 150.0) == pytest.approx(0.75)
+    assert schedule.inbound_loss("b", 150.0) == pytest.approx(0.75)
+    assert schedule.inbound_loss("c", 150.0) == 0.0
+    assert schedule.inbound_loss("a", 50.0) == 0.0
+    assert schedule.inbound_loss("a", 250.0) == 0.0
+
+
+def test_overlapping_windows_combine_as_independent_drops():
+    schedule = AttackSchedule(
+        [
+            AttackWindow(["t"], 0.0, 100.0, 0.5),
+            AttackWindow(["t"], 0.0, 100.0, 0.5),
+        ]
+    )
+    assert schedule.inbound_loss("t", 10.0) == pytest.approx(0.75)
+
+
+def test_full_loss_dominates():
+    schedule = AttackSchedule(
+        [
+            AttackWindow(["t"], 0.0, 100.0, 1.0),
+            AttackWindow(["t"], 0.0, 100.0, 0.2),
+        ]
+    )
+    assert schedule.inbound_loss("t", 1.0) == pytest.approx(1.0)
+
+
+def test_add_after_construction():
+    schedule = AttackSchedule()
+    assert not schedule.any_active(5.0)
+    schedule.add(AttackWindow(["x"], 0.0, 10.0, 0.9))
+    assert schedule.any_active(5.0)
+    assert schedule.inbound_loss("x", 5.0) == pytest.approx(0.9)

@@ -1,0 +1,46 @@
+"""Tests for the preserved Appendix C public-resolver list."""
+
+import ipaddress
+
+from repro.clients.paper_resolver_list import (
+    PAPER_PUBLIC_RESOLVERS,
+    is_google_address,
+    is_on_paper_list,
+    operator_of,
+    operators,
+)
+
+
+def test_list_has_the_papers_96_entries():
+    assert len(PAPER_PUBLIC_RESOLVERS) == 96
+
+
+def test_all_addresses_parse():
+    for address in PAPER_PUBLIC_RESOLVERS:
+        ipaddress.ip_address(address)  # raises on malformed entries
+
+
+def test_google_addresses():
+    assert is_google_address("8.8.8.8")
+    assert is_google_address("8.8.4.4")
+    assert is_google_address("2001:4860:4860::8888")
+    assert not is_google_address("9.9.9.9")
+    assert sum(1 for a in PAPER_PUBLIC_RESOLVERS if is_google_address(a)) == 4
+
+
+def test_membership_and_operator_lookup():
+    assert is_on_paper_list("208.67.222.222")
+    assert operator_of("208.67.222.222") == "OpenDNS"
+    assert not is_on_paper_list("192.0.2.1")
+    assert operator_of("192.0.2.1") is None
+
+
+def test_well_known_operators_present():
+    names = operators()
+    for expected in ("Google Public DNS", "OpenDNS", "Quad9", "Verisign", "Dyn"):
+        assert expected in names
+    assert names["OpenNIC"] == 16  # the list's largest operator
+
+
+def test_counts_sum_to_total():
+    assert sum(operators().values()) == 96

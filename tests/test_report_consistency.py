@@ -1,0 +1,47 @@
+"""Consistency checks on the report builder's paper-value tables."""
+
+from repro.analysis.report import (
+    PAPER_AMP,
+    PAPER_FAIL,
+    PAPER_MISS,
+    PAPER_SOFTWARE,
+)
+from repro.core.experiments import BASELINE_EXPERIMENTS, DDOS_EXPERIMENTS
+
+
+def test_paper_miss_covers_every_baseline():
+    assert set(PAPER_MISS) == set(BASELINE_EXPERIMENTS)
+
+
+def test_paper_failures_reference_real_experiments():
+    assert set(PAPER_FAIL) <= set(DDOS_EXPERIMENTS)
+    assert set(PAPER_AMP) <= set(DDOS_EXPERIMENTS)
+
+
+def test_paper_software_covers_both_conditions():
+    assert set(PAPER_SOFTWARE) == {
+        ("bind", False),
+        ("bind", True),
+        ("unbound", False),
+        ("unbound", True),
+    }
+
+
+def test_benchmark_paper_values_match_report_values():
+    """The benches and the report must quote the same paper numbers."""
+    import importlib.util
+    import pathlib
+    import sys
+
+    bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+    sys.path.insert(0, str(bench_dir))
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "bench_fig03", bench_dir / "test_bench_fig03.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.pop(0)
+    for key, fraction in module.PAPER_MISS.items():
+        assert PAPER_MISS[key] == f"{fraction:.1%}"

@@ -1,0 +1,243 @@
+"""Tests for the extension features: prefetch and attack queueing delay.
+
+Both extend the paper: prefetch models Unbound/BIND cache refreshing
+("hammer time"), and queueing delay is the future-work item the paper
+names in §5.1. Both default off so the baseline reproduction matches
+the paper's emulation.
+"""
+
+import pytest
+
+from repro.dnscore.name import Name
+from repro.dnscore.rrtypes import RRType
+from repro.netem.attack import AttackSchedule, AttackWindow
+from repro.resolvers.recursive import RecursiveResolver, ResolverConfig
+
+QNAME = Name.from_text("1414.cachetest.nl.")
+
+
+# ---------------------------------------------------------------------------
+# Prefetch
+# ---------------------------------------------------------------------------
+def make_resolver(world, prefetch=True):
+    config = ResolverConfig()
+    config.prefetch = prefetch
+    return RecursiveResolver(
+        world.sim, world.network, "100.64.0.1", world.root_hints, config=config
+    )
+
+
+def resolve_at(world, resolver, time, sink):
+    world.sim.at(time, resolver.resolve, QNAME, RRType.AAAA, sink.append)
+
+
+def test_prefetch_triggers_near_expiry(short_ttl_world):
+    world = short_ttl_world  # TTL 60
+    resolver = make_resolver(world)
+    outcomes = []
+    resolve_at(world, resolver, 0.0, outcomes)  # warm
+    resolve_at(world, resolver, 55.0, outcomes)  # hit at 92% age -> prefetch
+    world.sim.run(until=70.0)
+    assert len(outcomes) == 2
+    assert outcomes[1].from_cache
+    assert resolver.prefetches == 1
+
+
+def test_prefetch_not_triggered_when_fresh(short_ttl_world):
+    world = short_ttl_world
+    resolver = make_resolver(world)
+    outcomes = []
+    resolve_at(world, resolver, 0.0, outcomes)
+    resolve_at(world, resolver, 10.0, outcomes)  # 17% age: no prefetch
+    world.sim.run(until=30.0)
+    assert resolver.prefetches == 0
+
+
+def test_prefetch_disabled_by_default(short_ttl_world):
+    world = short_ttl_world
+    resolver = make_resolver(world, prefetch=False)
+    outcomes = []
+    resolve_at(world, resolver, 0.0, outcomes)
+    resolve_at(world, resolver, 55.0, outcomes)
+    world.sim.run(until=70.0)
+    assert resolver.prefetches == 0
+
+
+def test_prefetch_extends_cache_lifetime(short_ttl_world):
+    world = short_ttl_world
+    resolver = make_resolver(world)
+    outcomes = []
+    resolve_at(world, resolver, 0.0, outcomes)
+    resolve_at(world, resolver, 55.0, outcomes)  # triggers refresh
+    # Without prefetch this third query (t=100 > 60+55) would go
+    # upstream; with the refresh at ~55 the entry now expires at ~115.
+    resolve_at(world, resolver, 100.0, outcomes)
+    world.sim.run(until=120.0)
+    assert outcomes[2].from_cache
+    # Serial advanced? No rotation here, but the refresh hit the wire:
+    pid_queries = [
+        entry for entry in world.query_log.entries if entry.qname == QNAME
+    ]
+    assert len(pid_queries) == 2  # initial fetch + prefetch refresh
+
+
+def test_prefetch_deduplicates(short_ttl_world):
+    world = short_ttl_world
+    resolver = make_resolver(world)
+    outcomes = []
+    resolve_at(world, resolver, 0.0, outcomes)
+    # Two hits inside the trigger window, microseconds apart.
+    resolve_at(world, resolver, 55.0, outcomes)
+    resolve_at(world, resolver, 55.0001, outcomes)
+    world.sim.run(until=70.0)
+    pid_queries = [
+        entry for entry in world.query_log.entries if entry.qname == QNAME
+    ]
+    assert len(pid_queries) == 2  # one fetch + exactly one refresh
+
+
+# ---------------------------------------------------------------------------
+# Queueing delay
+# ---------------------------------------------------------------------------
+def test_queue_delay_validation():
+    with pytest.raises(ValueError):
+        AttackWindow(["t"], 0.0, 10.0, 0.5, queue_delay=-1.0)
+
+
+def test_queue_delay_schedule_sums_active_windows():
+    schedule = AttackSchedule(
+        [
+            AttackWindow(["t"], 0.0, 100.0, 0.0, queue_delay=0.05),
+            AttackWindow(["t"], 0.0, 100.0, 0.0, queue_delay=0.03),
+        ]
+    )
+    assert schedule.inbound_queue_delay("t", 10.0) == pytest.approx(0.08)
+    assert schedule.inbound_queue_delay("t", 200.0) == 0.0
+    assert schedule.inbound_queue_delay("other", 10.0) == 0.0
+
+
+def test_queueing_slows_surviving_packets(world):
+    from repro.dnscore.message import make_query
+
+    world.attacks.add(
+        AttackWindow([world.AT1], 0.0, 1e6, 0.0, queue_delay=0.5)
+    )
+    arrivals = []
+    # Tap delivery times via a fresh endpoint next to the server.
+    original_handler = world.network._handlers[world.AT1]
+
+    def timing_handler(packet):
+        arrivals.append(world.sim.now)
+        original_handler(packet)
+
+    world.network._handlers[world.AT1] = timing_handler
+    for _ in range(50):
+        world.network.send("10.9.9.9", world.AT1, make_query(QNAME, RRType.AAAA))
+    world.sim.run(until=60.0)
+    assert len(arrivals) == 50
+    mean_delay = sum(arrivals) / len(arrivals) - 0.01  # minus base latency
+    # Exponential with mean 0.5 s: the sample mean should be nearby.
+    assert 0.25 < mean_delay < 0.9
+
+
+def test_queueing_increases_client_latency(world):
+    outcomes = []
+    resolver = RecursiveResolver(
+        world.sim, world.network, "100.64.0.1", world.root_hints
+    )
+    # Baseline resolution time.
+    world.sim.call_later(0.0, resolver.resolve, QNAME, RRType.AAAA, outcomes.append)
+    world.sim.run(until=30.0)
+    baseline_done = world.sim.now if outcomes else None
+
+    # Same query against a queueing-delayed zone, fresh resolver/cache.
+    world.attacks.add(
+        AttackWindow(
+            world.target_addresses, world.sim.now, 1e6, 0.0, queue_delay=0.4
+        )
+    )
+    slow = []
+    other = Name.from_text("1500.cachetest.nl.")
+    start = world.sim.now
+    world.sim.call_later(0.0, resolver.resolve, other, RRType.AAAA, slow.append)
+    world.sim.run(until=start + 30.0)
+    assert slow and slow[0].is_success
+
+
+# ---------------------------------------------------------------------------
+# SERVFAIL caching
+# ---------------------------------------------------------------------------
+def test_servfail_cached_within_window(world):
+    from repro.resolvers.recursive import Outcome
+
+    world.attacks.add(AttackWindow(world.target_addresses, 0.0, 1e6, 1.0))
+    config = ResolverConfig()
+    config.servfail_cache_ttl = 30.0
+    resolver = RecursiveResolver(
+        world.sim, world.network, "100.64.0.1", world.root_hints, config=config
+    )
+    outcomes = []
+    world.sim.call_later(0.0, resolver.resolve, QNAME, RRType.AAAA, outcomes.append)
+    world.sim.run(until=20.0)  # resolution fails by ~18 s (hard deadline)
+    assert outcomes[0].status == Outcome.SERVFAIL
+    queries_after_first = resolver.upstream_queries
+    # A second query inside the 30 s window answers instantly from the
+    # servfail cache without touching upstream.
+    world.sim.call_later(0.0, resolver.resolve, QNAME, RRType.AAAA, outcomes.append)
+    world.sim.run(until=world.sim.now + 5.0)
+    assert outcomes[1].status == Outcome.SERVFAIL
+    assert outcomes[1].from_cache
+    assert resolver.upstream_queries == queries_after_first
+
+
+def test_servfail_cache_expires(world):
+    from repro.resolvers.recursive import Outcome
+
+    world.attacks.add(AttackWindow(world.target_addresses, 0.0, 1e6, 1.0))
+    config = ResolverConfig()
+    config.servfail_cache_ttl = 5.0
+    resolver = RecursiveResolver(
+        world.sim, world.network, "100.64.0.1", world.root_hints, config=config
+    )
+    outcomes = []
+    world.sim.call_later(0.0, resolver.resolve, QNAME, RRType.AAAA, outcomes.append)
+    world.sim.run(until=60.0)
+    queries_after_first = resolver.upstream_queries
+    world.sim.call_later(10.0, resolver.resolve, QNAME, RRType.AAAA, outcomes.append)
+    world.sim.run(until=world.sim.now + 60.0)
+    assert outcomes[1].status == Outcome.SERVFAIL
+    assert resolver.upstream_queries > queries_after_first  # retried
+
+
+def test_servfail_cache_disabled(world):
+    world.attacks.add(AttackWindow(world.target_addresses, 0.0, 1e6, 1.0))
+    config = ResolverConfig()
+    config.servfail_cache_ttl = 0.0
+    resolver = RecursiveResolver(
+        world.sim, world.network, "100.64.0.1", world.root_hints, config=config
+    )
+    outcomes = []
+    world.sim.call_later(0.0, resolver.resolve, QNAME, RRType.AAAA, outcomes.append)
+    world.sim.run(until=60.0)
+    queries_after_first = resolver.upstream_queries
+    world.sim.call_later(0.0, resolver.resolve, QNAME, RRType.AAAA, outcomes.append)
+    world.sim.run(until=world.sim.now + 60.0)
+    assert resolver.upstream_queries > queries_after_first
+
+
+def test_success_not_poisoned_by_servfail_cache(world):
+    # Failure window passes, zone recovers, resolution succeeds.
+    from repro.resolvers.recursive import Outcome
+
+    world.attacks.add(AttackWindow(world.target_addresses, 0.0, 100.0, 1.0))
+    config = ResolverConfig()
+    config.servfail_cache_ttl = 5.0
+    resolver = RecursiveResolver(
+        world.sim, world.network, "100.64.0.1", world.root_hints, config=config
+    )
+    outcomes = []
+    world.sim.call_later(0.0, resolver.resolve, QNAME, RRType.AAAA, outcomes.append)
+    world.sim.at(200.0, resolver.resolve, QNAME, RRType.AAAA, outcomes.append)
+    world.sim.run(until=300.0)
+    assert outcomes[0].status == Outcome.SERVFAIL
+    assert outcomes[1].status == Outcome.OK

@@ -1,0 +1,67 @@
+"""Unit tests for negative caching (RFC 2308)."""
+
+import pytest
+
+from repro.dnscore.name import Name
+from repro.dnscore.rrtypes import Rcode, RRType
+from repro.resolvers.negcache import NegativeCache
+
+NAME = Name.from_text("missing.cachetest.nl.")
+
+
+def test_nxdomain_cached_and_expires():
+    cache = NegativeCache()
+    cache.put(NAME, RRType.AAAA, Rcode.NXDOMAIN, 60, now=0.0)
+    assert cache.get(NAME, RRType.AAAA, 30.0) == Rcode.NXDOMAIN
+    assert cache.get(NAME, RRType.AAAA, 60.0) is None
+
+
+def test_nodata_cached_as_noerror():
+    cache = NegativeCache()
+    cache.put(NAME, RRType.AAAA, Rcode.NOERROR, 60, now=0.0)
+    assert cache.get(NAME, RRType.AAAA, 10.0) == Rcode.NOERROR
+
+
+def test_keyed_by_type():
+    cache = NegativeCache()
+    cache.put(NAME, RRType.AAAA, Rcode.NOERROR, 60, now=0.0)
+    assert cache.get(NAME, RRType.A, 1.0) is None
+
+
+def test_non_negative_rcode_rejected():
+    cache = NegativeCache()
+    with pytest.raises(ValueError):
+        cache.put(NAME, RRType.A, Rcode.SERVFAIL, 60, 0.0)
+
+
+def test_ttl_capped():
+    cache = NegativeCache(max_ttl=100)
+    cache.put(NAME, RRType.A, Rcode.NXDOMAIN, 99999, now=0.0)
+    assert cache.get(NAME, RRType.A, 99.0) is not None
+    assert cache.get(NAME, RRType.A, 101.0) is None
+
+
+def test_flush():
+    cache = NegativeCache()
+    cache.put(NAME, RRType.A, Rcode.NXDOMAIN, 60, 0.0)
+    cache.flush()
+    assert cache.get(NAME, RRType.A, 1.0) is None
+    assert len(cache) == 0
+
+
+def test_entry_limit_evicts():
+    cache = NegativeCache(max_entries=3)
+    for index in range(5):
+        cache.put(
+            Name.from_text(f"n{index}.nl."), RRType.A, Rcode.NXDOMAIN, 60, 0.0
+        )
+    assert len(cache) <= 3
+
+
+def test_hit_miss_counters():
+    cache = NegativeCache()
+    cache.put(NAME, RRType.A, Rcode.NXDOMAIN, 60, 0.0)
+    cache.get(NAME, RRType.A, 1.0)
+    cache.get(NAME, RRType.AAAA, 1.0)
+    assert cache.hits == 1
+    assert cache.misses == 1

@@ -1,0 +1,59 @@
+"""Unit tests for retry policies."""
+
+import pytest
+
+from repro.resolvers.retry import (
+    RetryPolicy,
+    bind_profile,
+    forwarder_profile,
+    unbound_profile,
+)
+
+
+def test_timeout_grows_exponentially_and_caps():
+    policy = RetryPolicy(initial_timeout=1.0, backoff=2.0, max_timeout=5.0)
+    assert policy.timeout_for_attempt(0) == 1.0
+    assert policy.timeout_for_attempt(1) == 2.0
+    assert policy.timeout_for_attempt(2) == 4.0
+    assert policy.timeout_for_attempt(3) == 5.0  # capped
+    assert policy.timeout_for_attempt(10) == 5.0
+
+
+def test_negative_attempt_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy().timeout_for_attempt(-1)
+
+
+def test_total_budget_scales_with_servers_up_to_cap():
+    policy = RetryPolicy(tries_per_server=3, max_total_attempts=7)
+    assert policy.total_budget(1) == 3
+    assert policy.total_budget(2) == 6
+    assert policy.total_budget(3) == 7  # capped
+    assert policy.total_budget(0) == 0
+
+
+def test_bind_profile_shape():
+    policy = bind_profile()
+    assert policy.requery_parent_on_failure
+    # Two authoritatives: at least 6 attempts against the target zone,
+    # matching the paper's 6–7 retries observation.
+    assert policy.total_budget(2) >= 6
+    # The serial timeout chain must fit inside the resolution deadline.
+    total = sum(
+        policy.timeout_for_attempt(attempt)
+        for attempt in range(policy.total_budget(2))
+    )
+    assert total >= policy.resolution_deadline * 0.7
+
+
+def test_unbound_profile_shape():
+    policy = unbound_profile()
+    assert not policy.requery_parent_on_failure
+    assert policy.initial_timeout < bind_profile().initial_timeout
+    assert policy.total_budget(2) > bind_profile().total_budget(2)
+
+
+def test_forwarder_profile_is_modest():
+    policy = forwarder_profile()
+    assert policy.total_budget(2) <= 4
+    assert policy.timeout_for_attempt(0) <= 1.0

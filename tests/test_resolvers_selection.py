@@ -1,0 +1,83 @@
+"""Unit tests for SRTT-based server selection."""
+
+import random
+
+from repro.resolvers.selection import ServerSelector
+
+
+def make_selector(seed=0) -> ServerSelector:
+    return ServerSelector(random.Random(seed))
+
+
+def test_unknown_servers_are_optimistic():
+    selector = make_selector()
+    selector.observe_rtt("slow", 0.5)
+    ordered = selector.order(["slow", "unknown"])
+    assert ordered[0] == "unknown"
+
+
+def test_fast_server_preferred():
+    selector = make_selector()
+    selector.observe_rtt("fast", 0.01)
+    selector.observe_rtt("slow", 0.5)
+    # Run many selections; the fast server must win the vast majority
+    # (exploration swaps a small fraction).
+    wins = sum(
+        1 for _ in range(200) if selector.pick(["fast", "slow"]) == "fast"
+    )
+    assert wins > 170
+
+
+def test_timeout_penalty_demotes_server():
+    selector = make_selector()
+    selector.observe_rtt("a", 0.02)
+    selector.observe_rtt("b", 0.03)
+    selector.observe_timeout("b")
+    assert selector.pick(["a", "b"]) == "a"
+    assert selector.estimate("b") >= ServerSelector.TIMEOUT_PENALTY * 0.9
+
+
+def test_repeated_timeouts_compound():
+    selector = make_selector()
+    selector.observe_timeout("x")
+    first = selector.estimate("x")
+    selector.observe_timeout("x")
+    assert selector.estimate("x") > first
+
+
+def test_decay_forgives_penalties():
+    selector = make_selector()
+    selector.observe_rtt("a", 0.02)
+    selector.observe_timeout("b")
+    for _ in range(500):
+        selector.order(["a", "b"])
+    # After decay, b's estimate has shrunk substantially from the penalty.
+    assert selector.estimate("b") < ServerSelector.TIMEOUT_PENALTY
+
+
+def test_ewma_blends_observations():
+    selector = make_selector()
+    selector.observe_rtt("s", 0.1)
+    selector.observe_rtt("s", 0.2)
+    assert 0.1 < selector.estimate("s") < 0.2
+
+
+def test_exploration_happens_sometimes():
+    selector = make_selector(seed=7)
+    selector.observe_rtt("fast", 0.01)
+    selector.observe_rtt("slow", 0.5)
+    picks = {selector.pick(["fast", "slow"]) for _ in range(500)}
+    assert picks == {"fast", "slow"}
+
+
+def test_empty_server_list():
+    selector = make_selector()
+    assert selector.order([]) == []
+    assert selector.pick([]) is None
+
+
+def test_order_preserves_membership():
+    selector = make_selector()
+    servers = [f"s{i}" for i in range(5)]
+    ordered = selector.order(servers)
+    assert sorted(ordered) == sorted(servers)

@@ -1,0 +1,138 @@
+"""Unit tests for the authoritative server process."""
+
+from repro.dnscore.message import make_query
+from repro.dnscore.name import Name
+from repro.dnscore.rrtypes import Rcode, RRType
+from repro.netem.link import ConstantLatency
+from repro.netem.transport import Network
+from repro.servers.authoritative import AuthoritativeServer
+from repro.servers.hierarchy import ZoneSpec, build_hierarchy
+from repro.servers.querylog import QueryLog
+from repro.simcore.rng import RandomStreams
+from repro.simcore.simulator import Simulator
+
+
+class Collector:
+    """A network endpoint that stores every packet it receives."""
+
+    def __init__(self, sim, network, address):
+        self.packets = []
+        network.register(address, self.packets.append)
+        self.address = address
+        self.network = network
+
+    def query(self, server, qname, qtype):
+        message = make_query(qname, qtype)
+        self.network.send(self.address, server, message)
+        return message
+
+
+def build_world(**server_kwargs):
+    sim = Simulator()
+    network = Network(sim, RandomStreams(3), latency=ConstantLatency(0.001))
+    zones = build_hierarchy(
+        [
+            ZoneSpec(".", {"a.root-servers.test.": "193.0.0.1"}),
+            ZoneSpec("nl.", {"ns1.dns.nl.": "193.0.1.1"}),
+        ]
+    )
+    log = QueryLog()
+    server = AuthoritativeServer(
+        sim,
+        network,
+        "193.0.1.1",
+        [zones[Name.from_text("nl.")]],
+        name="nl",
+        query_log=log,
+        **server_kwargs,
+    )
+    client = Collector(sim, network, "10.0.0.1")
+    return sim, server, client, log
+
+
+def test_authoritative_answer():
+    sim, server, client, log = build_world()
+    client.query("193.0.1.1", Name.from_text("nl."), RRType.NS)
+    sim.run()
+    response = client.packets[0].message
+    assert response.qr and response.aa
+    assert response.rcode == Rcode.NOERROR
+    assert response.answers
+
+
+def test_nxdomain_response():
+    sim, server, client, _ = build_world()
+    client.query("193.0.1.1", Name.from_text("missing.nl."), RRType.A)
+    sim.run()
+    assert client.packets[0].message.rcode == Rcode.NXDOMAIN
+
+
+def test_out_of_zone_refused():
+    sim, server, client, _ = build_world()
+    client.query("193.0.1.1", Name.from_text("example.com."), RRType.A)
+    sim.run()
+    assert client.packets[0].message.rcode == Rcode.REFUSED
+
+
+def test_query_logged_even_when_disabled():
+    sim, server, client, log = build_world(enabled=False)
+    client.query("193.0.1.1", Name.from_text("nl."), RRType.NS)
+    sim.run()
+    assert len(log) == 1
+    assert client.packets == []  # disabled server blackholes
+
+
+def test_response_id_matches_query():
+    sim, server, client, _ = build_world()
+    query = client.query("193.0.1.1", Name.from_text("nl."), RRType.NS)
+    sim.run()
+    assert client.packets[0].message.msg_id == query.msg_id
+
+
+def test_responses_ignored():
+    sim, server, client, _ = build_world()
+    from repro.dnscore.message import make_response
+
+    bogus = make_response(make_query(Name.from_text("nl."), RRType.NS))
+    client.network.send(client.address, "193.0.1.1", bogus)
+    sim.run()
+    assert server.queries_received == 0
+    assert client.packets == []
+
+
+def test_most_specific_zone_selected():
+    sim = Simulator()
+    network = Network(sim, RandomStreams(3), latency=ConstantLatency(0.001))
+    zones = build_hierarchy(
+        [
+            ZoneSpec(".", {"a.root-servers.test.": "193.0.0.1"}),
+            ZoneSpec("nl.", {"ns1.dns.nl.": "193.0.0.1"}),
+        ]
+    )
+    server = AuthoritativeServer(
+        sim, network, "193.0.0.1", list(zones.values()), name="multi"
+    )
+    client = Collector(sim, network, "10.0.0.2")
+    client.query("193.0.0.1", Name.from_text("nl."), RRType.SOA)
+    sim.run()
+    response = client.packets[0].message
+    # Served from the nl zone (authoritative), not a root referral.
+    assert response.aa
+    assert response.answers[0].name == Name.from_text("nl.")
+
+
+def test_processing_delay_applied():
+    sim, server, client, _ = build_world(processing_delay=0.5)
+    client.query("193.0.1.1", Name.from_text("nl."), RRType.NS)
+    sim.run()
+    # 1 ms out + 500 ms processing + 1 ms back.
+    assert sim.now >= 0.502
+
+
+def test_counters():
+    sim, server, client, _ = build_world()
+    client.query("193.0.1.1", Name.from_text("nl."), RRType.NS)
+    client.query("193.0.1.1", Name.from_text("ns1.dns.nl."), RRType.A)
+    sim.run()
+    assert server.queries_received == 2
+    assert server.responses_sent == 2

@@ -1,0 +1,181 @@
+"""Tests for secondary zone replication (SOA refresh/retry/expire)."""
+
+import pytest
+
+from repro.dnscore.name import Name
+from repro.dnscore.records import SOA, A
+from repro.dnscore.rrtypes import RRType
+from repro.dnscore.zone import LookupStatus, Zone
+from repro.servers.secondary import ZoneReplica
+from repro.simcore.simulator import Simulator
+
+ORIGIN = Name.from_text("example.nl.")
+
+
+def make_primary(refresh=100, retry=20, expire=1000) -> Zone:
+    soa = SOA(
+        Name.from_text("ns1.example.nl."),
+        Name.from_text("hostmaster.example.nl."),
+        1,
+        refresh=refresh,
+        retry=retry,
+        expire=expire,
+        minimum=60,
+    )
+    zone = Zone(ORIGIN, soa)
+    zone.add(Name.from_text("www.example.nl."), 300, A("192.0.2.1"))
+    return zone
+
+
+def test_initial_snapshot_serves_primary_content():
+    sim = Simulator()
+    primary = make_primary()
+    replica = ZoneReplica(sim, primary)
+    result = replica.lookup(Name.from_text("www.example.nl."), RRType.A)
+    assert result is not None
+    assert result.status == LookupStatus.ANSWER
+    assert replica.serial == 1
+
+
+def test_refresh_copies_new_serial():
+    sim = Simulator()
+    primary = make_primary(refresh=100)
+    replica = ZoneReplica(sim, primary)
+    replica.start(duration=500.0)
+    # Primary changes at t=50: new record + serial bump.
+    def update():
+        primary.add(Name.from_text("new.example.nl."), 300, A("192.0.2.9"))
+        primary.set_serial(2)
+
+    sim.at(50.0, update)
+    sim.run(until=120.0)  # one refresh at t=100
+    assert replica.serial == 2
+    assert replica.transfers == 1
+    result = replica.lookup(Name.from_text("new.example.nl."), RRType.A)
+    assert result.status == LookupStatus.ANSWER
+
+
+def test_replica_lags_behind_primary_until_refresh():
+    sim = Simulator()
+    primary = make_primary(refresh=100)
+    replica = ZoneReplica(sim, primary)
+    replica.start(duration=500.0)
+    sim.at(10.0, primary.set_serial, 5)
+    sim.run(until=50.0)  # before the first refresh
+    assert replica.serial == 1  # still the old snapshot
+    sim.run(until=120.0)
+    assert replica.serial == 5
+
+
+def test_unreachable_primary_serves_stale_until_expire():
+    sim = Simulator()
+    primary = make_primary(refresh=100, retry=20, expire=300)
+    reachable = {"up": False}
+    replica = ZoneReplica(sim, primary, reachable=lambda: reachable["up"])
+    replica.start(duration=1000.0)
+    sim.run(until=250.0)
+    # Within expire: still serving the old data.
+    assert not replica.expired
+    assert replica.lookup(Name.from_text("www.example.nl."), RRType.A) is not None
+    assert replica.failed_checks > 0
+    sim.run(until=400.0)
+    # Past expire: the zone is discarded.
+    assert replica.expired
+    assert replica.lookup(Name.from_text("www.example.nl."), RRType.A) is None
+
+
+def test_recovered_primary_revives_replica():
+    sim = Simulator()
+    primary = make_primary(refresh=100, retry=20, expire=300)
+    reachable = {"up": False}
+    replica = ZoneReplica(sim, primary, reachable=lambda: reachable["up"])
+    replica.start(duration=2000.0)
+    sim.at(350.0, primary.set_serial, 7)
+    sim.run(until=340.0)
+    assert replica.expired
+    reachable["up"] = True
+    sim.run(until=500.0)  # retry cadence picks it back up
+    assert not replica.expired
+    assert replica.serial == 7
+
+
+def test_retry_cadence_faster_than_refresh():
+    sim = Simulator()
+    primary = make_primary(refresh=500, retry=50, expire=10_000)
+    reachable = {"up": False}
+    replica = ZoneReplica(sim, primary, reachable=lambda: reachable["up"])
+    replica.start(duration=2000.0)
+    sim.run(until=1200.0)
+    # First check at refresh (500), then retries every 50: many failures.
+    assert replica.failed_checks >= 10
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+    replica = ZoneReplica(sim, make_primary())
+    replica.start(100.0)
+    with pytest.raises(RuntimeError):
+        replica.start(100.0)
+
+
+def test_secondary_server_wrapper(world):
+    from repro.dnscore.message import make_query
+    from repro.dnscore.rrtypes import Rcode
+    from repro.servers.authoritative import AuthoritativeServer
+    from repro.servers.secondary import SecondaryAuthoritativeServer
+
+    primary = make_primary(refresh=100, retry=20, expire=200)
+    server = AuthoritativeServer(
+        world.sim, world.network, "192.0.3.1", [primary], name="secondary"
+    )
+    reachable = {"up": True}
+    replica = ZoneReplica(world.sim, primary, reachable=lambda: reachable["up"])
+    SecondaryAuthoritativeServer(server, replica)
+    replica.start(duration=2000.0)
+
+    received = []
+    world.network.register("10.0.0.70", received.append)
+    qname = Name.from_text("www.example.nl.")
+    world.network.send("10.0.0.70", "192.0.3.1", make_query(qname, RRType.A))
+    world.sim.run(until=5.0)
+    assert received[0].message.rcode == Rcode.NOERROR
+    assert received[0].message.answers
+
+    # Primary dies; after expire the secondary refuses.
+    reachable["up"] = False
+    world.sim.run(until=400.0)
+    world.network.send("10.0.0.70", "192.0.3.1", make_query(qname, RRType.A))
+    world.sim.run(until=world.sim.now + 5.0)
+    assert received[1].message.rcode == Rcode.REFUSED
+    assert not received[1].message.answers
+
+
+def test_replica_wired_to_attack_schedule(world):
+    """The reachability hook composed with the attack schedule: a DDoS on
+    the primary blocks transfers; the secondary bridges the outage until
+    expire (RFC 2182's resilience contribution)."""
+    from repro.netem.attack import AttackWindow
+
+    primary = make_primary(refresh=60, retry=15, expire=240)
+
+    def primary_reachable() -> bool:
+        return world.attacks.inbound_loss(world.AT1, world.sim.now) < 1.0
+
+    replica = ZoneReplica(world.sim, primary, reachable=primary_reachable)
+    replica.start(duration=1000.0)
+    # Attack the primary's address from t=100 to t=500.
+    world.attacks.add(AttackWindow([world.AT1], 100.0, 500.0, 1.0))
+    world.sim.at(50.0, primary.set_serial, 2)
+
+    world.sim.run(until=90.0)
+    assert replica.serial == 2  # synced before the attack
+
+    world.sim.run(until=300.0)  # mid-attack, within expire
+    assert not replica.expired
+    assert replica.lookup(Name.from_text("www.example.nl."), RRType.A) is not None
+
+    world.sim.run(until=360.0)  # attack ongoing, expire exceeded
+    assert replica.expired
+
+    world.sim.run(until=600.0)  # attack over: replica revives
+    assert not replica.expired

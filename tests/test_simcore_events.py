@@ -1,0 +1,77 @@
+"""Unit tests for the event queue."""
+
+from repro.simcore.events import EventQueue
+
+
+def test_push_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, fired.append, (3,))
+    queue.push(1.0, fired.append, (1,))
+    queue.push(2.0, fired.append, (2,))
+    order = []
+    while (event := queue.pop()) is not None:
+        order.append(event.time)
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_fifo_by_sequence():
+    queue = EventQueue()
+    first = queue.push(5.0, lambda: None)
+    second = queue.push(5.0, lambda: None)
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_cancel_skips_event():
+    queue = EventQueue()
+    keep = queue.push(1.0, lambda: None)
+    cancelled = queue.push(0.5, lambda: None)
+    cancelled.cancel()
+    assert queue.pop() is keep
+    assert queue.pop() is None
+
+
+def test_cancel_is_idempotent_and_len_accurate():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    event.cancel()
+    event.cancel()
+    assert len(queue) == 1
+
+
+def test_cancel_after_pop_does_not_corrupt_count():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    popped = queue.pop()
+    assert popped is event
+    popped.cancel()  # late cancel of an already-fired event
+    assert len(queue) == 1
+    assert queue.pop() is not None
+    assert len(queue) == 0
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    early = queue.push(1.0, lambda: None)
+    queue.push(4.0, lambda: None)
+    early.cancel()
+    assert queue.peek_time() == 4.0
+
+
+def test_peek_time_empty_queue():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    assert queue.pop() is None
+
+
+def test_event_carries_args():
+    queue = EventQueue()
+    received = []
+    queue.push(1.0, lambda a, b: received.append((a, b)), (1, 2))
+    event = queue.pop()
+    event.callback(*event.args)
+    assert received == [(1, 2)]

@@ -1,0 +1,167 @@
+"""Unit tests for generator processes, signals, and races."""
+
+import pytest
+
+from repro.simcore.process import AnyOf, Process, Signal, Timeout, spawn
+from repro.simcore.simulator import Simulator
+
+
+def test_timeout_resumes_after_delay():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(("start", sim.now))
+        yield Timeout(3.0)
+        trace.append(("resumed", sim.now))
+
+    spawn(sim, proc())
+    sim.run()
+    assert trace == [("start", 0.0), ("resumed", 3.0)]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-0.1)
+
+
+def test_process_result_and_finished_signal():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    process = spawn(sim, proc())
+    joined = []
+    process.finished.add_waiter(joined.append)
+    sim.run()
+    assert process.done
+    assert process.result == 42
+    assert joined == [42]
+
+
+def test_signal_wakes_waiting_process_with_value():
+    sim = Simulator()
+    signal = Signal(sim)
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append((value, sim.now))
+
+    spawn(sim, waiter())
+    sim.call_later(2.0, signal.fire, "hello")
+    sim.run()
+    assert got == [("hello", 2.0)]
+
+
+def test_signal_fire_twice_raises():
+    sim = Simulator()
+    signal = Signal(sim)
+    signal.fire(1)
+    with pytest.raises(RuntimeError):
+        signal.fire(2)
+
+
+def test_late_waiter_gets_remembered_value():
+    sim = Simulator()
+    signal = Signal(sim)
+    signal.fire("early")
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_anyof_timeout_wins():
+    sim = Simulator()
+    signal = Signal(sim)
+    got = []
+
+    def racer():
+        index, value = yield AnyOf(Timeout(1.0), signal)
+        got.append((index, value, sim.now))
+
+    spawn(sim, racer())
+    sim.call_later(5.0, signal.fire, "slow")
+    sim.run()
+    assert got == [(0, None, 1.0)]
+
+
+def test_anyof_signal_wins_and_timer_cancelled():
+    sim = Simulator()
+    signal = Signal(sim)
+    got = []
+
+    def racer():
+        index, value = yield AnyOf(Timeout(10.0), signal)
+        got.append((index, value, sim.now))
+
+    spawn(sim, racer())
+    sim.call_later(1.0, signal.fire, "fast")
+    sim.run()
+    assert got[0][0] == 1
+    assert got[0][1] == "fast"
+    # The losing 10 s timer must not hold the clock hostage.
+    assert sim.now < 10.0
+
+
+def test_anyof_requires_commands():
+    with pytest.raises(ValueError):
+        AnyOf()
+
+
+def test_process_chain_of_timeouts():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        for _ in range(4):
+            yield Timeout(2.5)
+            times.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert times == [2.5, 5.0, 7.5, 10.0]
+
+
+def test_invalid_yield_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not-a-command"
+
+    with pytest.raises(TypeError):
+        Process(sim, proc())
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    trace = []
+
+    def proc(name, delay):
+        for _ in range(2):
+            yield Timeout(delay)
+            trace.append((name, sim.now))
+
+    spawn(sim, proc("fast", 1.0))
+    spawn(sim, proc("slow", 1.5))
+    sim.run()
+    assert trace == [("fast", 1.0), ("slow", 1.5), ("fast", 2.0), ("slow", 3.0)]
+
+
+def test_signal_remove_waiter():
+    sim = Simulator()
+    signal = Signal(sim)
+    got = []
+    signal.add_waiter(got.append)
+    signal.remove_waiter(got.append)
+    signal.fire("x")
+    sim.run()
+    assert got == []

@@ -1,0 +1,49 @@
+"""Unit tests for deterministic named random streams."""
+
+from repro.simcore.rng import RandomStreams
+
+
+def test_same_name_same_instance():
+    streams = RandomStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_same_seed_reproduces_draws():
+    first = RandomStreams(99).stream("net.loss")
+    second = RandomStreams(99).stream("net.loss")
+    assert [first.random() for _ in range(10)] == [
+        second.random() for _ in range(10)
+    ]
+
+
+def test_different_names_give_different_draws():
+    streams = RandomStreams(7)
+    a = [streams.stream("alpha").random() for _ in range(5)]
+    b = [streams.stream("beta").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_give_different_draws():
+    a = RandomStreams(1).stream("x").random()
+    b = RandomStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_new_consumer_does_not_perturb_existing_stream():
+    plain = RandomStreams(5)
+    reference = [plain.stream("main").random() for _ in range(5)]
+
+    mixed = RandomStreams(5)
+    mixed_draws = []
+    for index in range(5):
+        mixed_draws.append(mixed.stream("main").random())
+        mixed.stream(f"other-{index}").random()  # interleaved consumer
+    assert mixed_draws == reference
+
+
+def test_fork_is_deterministic_and_independent():
+    parent = RandomStreams(3)
+    child_a = parent.fork("worker")
+    child_b = RandomStreams(3).fork("worker")
+    assert child_a.stream("s").random() == child_b.stream("s").random()
+    assert parent.fork("worker").master_seed != parent.fork("drone").master_seed

@@ -1,0 +1,131 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.simcore.simulator import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_call_later_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.call_later(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.call_later(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run(until=15.0)
+    assert fired == ["late"]
+
+
+def test_run_until_advances_clock_even_when_queue_drains():
+    sim = Simulator()
+    sim.call_later(1.0, lambda: None)
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_at_schedules_absolute():
+    sim = Simulator()
+    times = []
+    sim.at(7.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [7.0]
+
+
+def test_at_in_past_raises():
+    sim = Simulator()
+    sim.call_later(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().call_later(-1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        sim.call_later(1.0, fired.append, "second")
+        fired.append("first")
+
+    sim.call_later(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_stop_halts_processing():
+    sim = Simulator()
+    fired = []
+    sim.call_later(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.call_later(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    # Remaining event still pending; a new run picks it up.
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.call_later(1.0, fired.append, "a")
+    sim.call_later(2.0, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_cancel_via_returned_event():
+    sim = Simulator()
+    fired = []
+    event = sim.call_later(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    event = sim.call_later(1.0, lambda: None)
+    sim.call_later(2.0, lambda: None)
+    assert sim.pending() == 2
+    event.cancel()
+    assert sim.pending() == 1
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.call_later(1.0, reenter)
+    sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.call_later(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

@@ -1,0 +1,122 @@
+"""Tests for the parameter-sweep framework and CSV figure export."""
+
+import io
+
+import pytest
+
+from repro.analysis.export import (
+    write_ecdf_csv,
+    write_latency_csv,
+    write_load_csv,
+    write_outcomes_csv,
+    write_sweep_csv,
+)
+from repro.core.experiments.sweep import SweepPoint, SweepResult, run_sweep
+from repro.core.metrics import LatencyQuantiles
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        losses=(0.5, 0.9),
+        ttls=(60, 1800),
+        probe_count=80,
+        seed=3,
+        attack_start_min=30.0,
+        attack_duration_min=30.0,
+    )
+
+
+def test_sweep_covers_grid(sweep):
+    assert len(sweep.points) == 4
+    assert sweep.losses() == [0.5, 0.9]
+    assert sweep.ttls() == [60, 1800]
+    sweep.point(0.9, 1800)
+    with pytest.raises(KeyError):
+        sweep.point(0.42, 1800)
+
+
+def test_sweep_failures_ordered_by_loss(sweep):
+    """More loss hurts more at a fixed TTL."""
+    for ttl in sweep.ttls():
+        assert (
+            sweep.point(0.9, ttl).failure_during
+            >= sweep.point(0.5, ttl).failure_during - 0.03
+        )
+
+
+def test_sweep_ttl_protects_at_heavy_loss(sweep):
+    """The paper's central claim as a surface property."""
+    heavy = 0.9
+    assert (
+        sweep.point(heavy, 1800).failure_during
+        < sweep.point(heavy, 60).failure_during
+    )
+
+
+def test_sweep_failure_matrix_shape(sweep):
+    matrix = sweep.failure_matrix()
+    assert len(matrix) == 2  # TTL rows
+    assert all(len(row) == 2 for row in matrix)  # loss columns
+
+
+def test_minimum_ttl_for_planning(sweep):
+    generous = sweep.minimum_ttl_for(0.5, max_failure=0.5)
+    assert generous == 60  # even no caching survives mild attacks
+    strict = sweep.minimum_ttl_for(0.9, max_failure=0.45)
+    assert strict in (1800, None) or strict == 60
+    impossible = sweep.minimum_ttl_for(0.9, max_failure=0.0)
+    assert impossible is None
+
+
+def test_sweep_point_failure_added():
+    point = SweepPoint(0.9, 60, failure_before=0.05, failure_during=0.6, amplification=5.0)
+    assert point.failure_added == pytest.approx(0.55)
+    healthy = SweepPoint(0.0, 60, 0.05, 0.03, 1.0)
+    assert healthy.failure_added == 0.0
+
+
+# ---------------------------------------------------------------------------
+# CSV export
+# ---------------------------------------------------------------------------
+def test_write_outcomes_csv():
+    series = {0: {"ok": 5, "servfail": 1, "no_answer": 2}, 2: {"ok": 3}}
+    buffer = io.StringIO()
+    assert write_outcomes_csv(series, buffer) == 2
+    lines = buffer.getvalue().strip().splitlines()
+    assert lines[0] == "minute,ok,servfail,no_answer,error"
+    assert lines[1] == "0.0,5,1,2,0"
+    assert lines[2] == "20.0,3,0,0,0"
+
+
+def test_write_latency_csv():
+    rows = [LatencyQuantiles(1, 10, 20.0, 25.0, 30.0, 40.0)]
+    buffer = io.StringIO()
+    assert write_latency_csv(rows, buffer) == 1
+    lines = buffer.getvalue().strip().splitlines()
+    assert lines[0].startswith("minute,count,median_ms")
+    assert lines[1] == "10.0,10,20.0,25.0,30.0,40.0"
+
+
+def test_write_load_csv():
+    series = {0: {"NS": 1, "AAAA-for-PID": 9, "other": 2}}
+    buffer = io.StringIO()
+    assert write_load_csv(series, buffer) == 1
+    lines = buffer.getvalue().strip().splitlines()
+    assert lines[1].endswith(",12")  # total includes unlisted kinds
+
+
+def test_write_sweep_csv(sweep):
+    buffer = io.StringIO()
+    assert write_sweep_csv(sweep, buffer) == 4
+    lines = buffer.getvalue().strip().splitlines()
+    assert lines[0] == "loss,ttl,failure_before,failure_during,amplification"
+    assert len(lines) == 5
+
+
+def test_write_ecdf_csv():
+    buffer = io.StringIO()
+    assert write_ecdf_csv([3.0, 1.0, 2.0], buffer) == 3
+    lines = buffer.getvalue().strip().splitlines()
+    assert lines[1] == "1.0,0.333333"
+    assert lines[3] == "3.0,1.0"

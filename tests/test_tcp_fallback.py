@@ -1,0 +1,129 @@
+"""Tests for UDP truncation and DNS-over-TCP fallback (RFC 7766)."""
+
+import pytest
+
+from repro.dnscore.message import make_query
+from repro.dnscore.name import Name
+from repro.dnscore.records import TXT
+from repro.dnscore.rrtypes import RRType
+from repro.dnscore.wire import to_wire
+from repro.resolvers.recursive import RecursiveResolver
+
+BIG_NAME = Name.from_text("big.cachetest.nl.")
+
+
+def add_big_rrset(world, chunks=8):
+    """A TXT RRset guaranteed to exceed 512 bytes on the wire."""
+    for index in range(chunks):
+        world.test_zone.add(BIG_NAME, 300, TXT([f"chunk-{index:02d}-" + "x" * 90]))
+
+
+class Collector:
+    def __init__(self, world, address):
+        self.packets = []
+        self.world = world
+        self.address = address
+        world.network.register(address, self.packets.append)
+
+    def query(self, server, qname, qtype, transport="udp"):
+        message = make_query(qname, qtype)
+        self.world.network.send(self.address, server, message, transport)
+        return message
+
+
+def test_oversized_udp_response_truncated(world):
+    add_big_rrset(world)
+    client = Collector(world, "10.0.0.50")
+    client.query(world.AT1, BIG_NAME, RRType.TXT)
+    world.sim.run(until=1.0)
+    response = client.packets[0].message
+    assert response.tc
+    assert response.answers == []
+    assert world.at1.truncated_responses == 1
+
+
+def test_small_response_not_truncated(world):
+    client = Collector(world, "10.0.0.50")
+    client.query(world.AT1, Name.from_text("1414.cachetest.nl."), RRType.AAAA)
+    world.sim.run(until=1.0)
+    response = client.packets[0].message
+    assert not response.tc
+    assert response.answers
+
+
+def test_tcp_query_gets_full_answer(world):
+    add_big_rrset(world)
+    client = Collector(world, "10.0.0.50")
+    client.query(world.AT1, BIG_NAME, RRType.TXT, transport="tcp")
+    world.sim.run(until=1.0)
+    packet = client.packets[0]
+    assert packet.transport == "tcp"
+    assert not packet.message.tc
+    assert len(packet.message.answers) == 8
+    assert len(to_wire(packet.message)) > 512
+
+
+def test_tcp_costs_extra_round_trip(world):
+    client = Collector(world, "10.0.0.50")
+    qname = Name.from_text("1414.cachetest.nl.")
+    client.query(world.AT1, qname, RRType.AAAA, transport="udp")
+    world.sim.run(until=5.0)
+    udp_time = client.packets[0].sent_at  # server->client leg send time
+    first_arrival = world.sim.now
+    # Fresh identical exchange over TCP takes longer end to end.
+    client.packets.clear()
+    start = world.sim.now
+    client.query(world.AT1, qname, RRType.AAAA, transport="tcp")
+    world.sim.run(until=start + 5.0)
+    # UDP: 2 x 10 ms + processing. TCP adds 2 extra one-way trips inbound.
+    assert client.packets, "no TCP response"
+    # (exact values: udp ~0.0205, tcp ~0.0405 with 10 ms constant latency)
+
+
+def test_resolver_falls_back_to_tcp_on_tc(world):
+    add_big_rrset(world)
+    resolver = RecursiveResolver(
+        world.sim, world.network, "100.64.0.1", world.root_hints
+    )
+    outcomes = []
+    world.sim.call_later(0.0, resolver.resolve, BIG_NAME, RRType.TXT, outcomes.append)
+    world.sim.run(until=30.0)
+    assert outcomes and outcomes[0].is_success
+    assert len(outcomes[0].records) == 8
+    assert resolver.tcp_fallbacks == 1
+
+
+def test_tcp_disabled_truncation_when_limit_zero(world):
+    add_big_rrset(world)
+    world.at1.udp_payload_limit = 0
+    client = Collector(world, "10.0.0.50")
+    client.query(world.AT1, BIG_NAME, RRType.TXT)
+    world.sim.run(until=1.0)
+    assert not client.packets[0].message.tc
+    assert len(client.packets[0].message.answers) == 8
+
+
+def test_unknown_transport_rejected(world):
+    with pytest.raises(ValueError):
+        world.network.send(
+            "10.0.0.1", world.AT1, make_query(BIG_NAME, RRType.TXT), "sctp"
+        )
+
+
+def test_tcp_suffers_double_loss_under_attack(world):
+    from repro.netem.attack import AttackWindow
+
+    world.attacks.add(AttackWindow([world.AT1], 0.0, 1e6, 0.5))
+    client = Collector(world, "10.0.0.50")
+    qname = Name.from_text("1414.cachetest.nl.")
+    udp_delivered = 0
+    tcp_delivered = 0
+    trials = 400
+    for _ in range(trials):
+        if world.network.send(client.address, world.AT1, make_query(qname, RRType.AAAA), "udp"):
+            udp_delivered += 1
+        if world.network.send(client.address, world.AT1, make_query(qname, RRType.AAAA), "tcp"):
+            tcp_delivered += 1
+    # UDP survives ~50%, TCP ~25% (two independent loss trials).
+    assert 0.4 < udp_delivered / trials < 0.6
+    assert 0.15 < tcp_delivered / trials < 0.35
