@@ -7,19 +7,27 @@ shapes are scale-invariant, see DESIGN.md §4) and the benchmarks time
 the regeneration/analysis step against the cached raw data. Every
 benchmark also writes its rendered output (measured next to the paper's
 reported values) to ``benchmarks/output/<id>.txt``.
+
+The in-memory session cache is backed by the persistent
+:class:`repro.runner.DiskCache` (``benchmarks/.runcache`` by default,
+``$REPRO_CACHE_DIR`` to relocate), so repeat benchmark sessions against
+unchanged code skip the simulations entirely; any edit to ``src/repro``
+changes the code fingerprint and recomputes from scratch.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
-from repro.core.experiments import (
-    BASELINE_EXPERIMENTS,
-    DDOS_EXPERIMENTS,
-    run_baseline,
-    run_ddos,
+from repro.core.experiments import BASELINE_EXPERIMENTS, DDOS_EXPERIMENTS
+from repro.runner import (
+    DiskCache,
+    baseline_request,
+    ddos_request,
+    run_many,
 )
 
 # Reduced-scale population sizes (paper: ~9000 probes).
@@ -28,28 +36,38 @@ DDOS_PROBES = 400
 SEED = 42
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+RUNCACHE_DIR = os.environ.get(
+    "REPRO_CACHE_DIR", str(pathlib.Path(__file__).parent / ".runcache")
+)
 
 
 class RunCache:
-    """Runs each experiment at most once per pytest session."""
+    """Runs each experiment at most once per session, once per code version
+    on disk."""
 
     def __init__(self) -> None:
-        self._baselines = {}
-        self._ddos = {}
+        self._results = {}
+        self._disk = DiskCache(RUNCACHE_DIR)
+
+    def _run(self, request):
+        key = (request.kind, request.spec.key)
+        if key not in self._results:
+            [self._results[key]] = run_many([request], cache=self._disk)
+        return self._results[key]
 
     def baseline(self, key: str):
-        if key not in self._baselines:
-            self._baselines[key] = run_baseline(
+        return self._run(
+            baseline_request(
                 BASELINE_EXPERIMENTS[key], probe_count=BASELINE_PROBES, seed=SEED
             )
-        return self._baselines[key]
+        )
 
     def ddos(self, key: str):
-        if key not in self._ddos:
-            self._ddos[key] = run_ddos(
+        return self._run(
+            ddos_request(
                 DDOS_EXPERIMENTS[key], probe_count=DDOS_PROBES, seed=SEED
             )
-        return self._ddos[key]
+        )
 
 
 @pytest.fixture(scope="session")

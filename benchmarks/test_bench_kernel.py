@@ -1,0 +1,91 @@
+"""Raw simcore kernel throughput — the floor under every experiment.
+
+Times the event loop itself, with no DNS logic on top, in the two shapes
+the emulations stress: a dense schedule-then-drain burst (probing
+rounds) and a retry pattern where most timers are cancelled before
+firing (the DDoS retry storm). Tracking these keeps kernel regressions
+visible in the perf trajectory independently of experiment-level
+changes.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.simcore.simulator import Simulator
+
+BURST_EVENTS = 50_000
+RETRY_TIMERS = 20_000
+
+
+def drain_burst() -> int:
+    """Schedule a flat burst of timers and drain it."""
+    sim = Simulator()
+    sink = []
+    append = sink.append
+    for index in range(BURST_EVENTS):
+        sim.call_later((index % 977) * 1e-3, append, index)
+    sim.run()
+    return sim.events_processed
+
+
+def retry_storm() -> int:
+    """Resolver-style timers: most are cancelled before they fire.
+
+    Every 'query' schedules a retry timer and an 'answer' that cancels
+    it — the hot pattern under attack, where the heap fills with
+    cancelled entries that pop() must skip cheaply.
+    """
+    sim = Simulator()
+    cancelled = 0
+
+    def answer(timer):
+        nonlocal cancelled
+        timer.cancel()
+        cancelled += 1
+
+    for index in range(RETRY_TIMERS):
+        timer = sim.call_later(5.0 + (index % 31) * 0.1, lambda: None)
+        sim.call_later((index % 31) * 0.1, answer, timer)
+    sim.run()
+    return cancelled
+
+
+def test_bench_kernel_burst(benchmark, output_dir):
+    processed = benchmark.pedantic(drain_burst, rounds=3, iterations=1)
+    assert processed == BURST_EVENTS
+    seconds = benchmark.stats.stats.mean
+    emit(
+        output_dir,
+        "kernel_burst",
+        "Kernel burst throughput: "
+        f"{processed} events in {seconds * 1e3:.1f} ms "
+        f"({processed / seconds:,.0f} events/s)",
+    )
+
+
+def test_bench_kernel_retry_storm(benchmark, output_dir):
+    cancelled = benchmark.pedantic(retry_storm, rounds=3, iterations=1)
+    assert cancelled == RETRY_TIMERS
+    seconds = benchmark.stats.stats.mean
+    total = 2 * RETRY_TIMERS
+    emit(
+        output_dir,
+        "kernel_retry",
+        "Kernel retry-storm throughput: "
+        f"{total} timers ({cancelled} cancelled) in {seconds * 1e3:.1f} ms "
+        f"({total / seconds:,.0f} timers/s)",
+    )
+
+
+def test_cancelled_events_do_not_pin_callbacks():
+    """Long retry-heavy runs must not accumulate closure references."""
+    sim = Simulator()
+    timers = [sim.call_later(60.0, (lambda v: v), object()) for _ in range(100)]
+    for timer in timers:
+        timer.cancel()
+    assert all(timer.callback is None for timer in timers)
+    assert sim.pending() == 0
+    start = time.time()
+    sim.run()
+    assert time.time() - start < 1.0

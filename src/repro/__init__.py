@@ -54,6 +54,13 @@ from repro.core.experiments.probe_case import run_probe_case
 from repro.core.experiments.software import run_software_study
 from repro.dnscore import Message, Name, RRType, Zone
 from repro.netem import AttackSchedule, AttackWindow, Network
+from repro.runner import (
+    DiskCache,
+    RunRequest,
+    baseline_request,
+    ddos_request,
+    run_many,
+)
 from repro.resolvers import (
     DnsCache,
     ForwardingResolver,
@@ -79,6 +86,7 @@ __all__ = [
     "DDOS_EXPERIMENTS",
     "DDoSResult",
     "DDoSSpec",
+    "DiskCache",
     "DnsCache",
     "ForwardingResolver",
     "Message",
@@ -93,20 +101,24 @@ __all__ = [
     "RecursiveResolver",
     "ResolverConfig",
     "RotationSchedule",
+    "RunRequest",
     "Simulator",
     "StubResolver",
     "Testbed",
     "TestbedConfig",
     "Zone",
     "ZoneSpec",
+    "baseline_request",
     "build_hierarchy",
     "build_population",
     "classify_answers",
     "classify_misses_by_resolver",
+    "ddos_request",
     "run_baseline",
     "run_cache_dump_study",
     "run_ddos",
     "run_glue_experiment",
+    "run_many",
     "run_probe_case",
     "run_software_study",
     "__version__",

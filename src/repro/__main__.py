@@ -7,6 +7,8 @@ Examples::
     python -m repro software --attack
     python -m repro glue
     python -m repro probe-case
+    python -m repro report --jobs 4 --cache-dir .repro-cache
+    python -m repro sweep --jobs 0 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -19,18 +21,48 @@ from repro.analysis.tables import render_kv_table
 from repro.core.experiments import (
     BASELINE_EXPERIMENTS,
     DDOS_EXPERIMENTS,
-    run_baseline,
     run_cache_dump_study,
-    run_ddos,
     run_glue_experiment,
     run_probe_case,
     run_software_study,
 )
 
 
+def _make_cache(args: argparse.Namespace):
+    """Build the optional persistent result cache from ``--cache-dir``."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.runner import DiskCache
+
+    cache = DiskCache(args.cache_dir)
+    try:
+        cache.root.mkdir(parents=True, exist_ok=True)
+    except (FileExistsError, NotADirectoryError):
+        raise SystemExit(f"error: --cache-dir {args.cache_dir!r} is not a directory")
+    return cache
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent runs (default: all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="persistent result cache; reruns with unchanged code are instant",
+    )
+
+
 def _cmd_baseline(args: argparse.Namespace) -> int:
+    from repro.runner import baseline_request, run_many
+
     spec = BASELINE_EXPERIMENTS[args.experiment]
-    result = run_baseline(spec, probe_count=args.probes, seed=args.seed)
+    request = baseline_request(spec, probe_count=args.probes, seed=args.seed)
+    [result] = run_many([request], jobs=args.jobs, cache=_make_cache(args))
     print(render_kv_table(f"Dataset (TTL {args.experiment})", result.dataset.as_rows()))
     print()
     print(render_kv_table("Classification (Table 2)", result.table2.as_rows()))
@@ -41,9 +73,12 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
 
 
 def _cmd_ddos(args: argparse.Namespace) -> int:
+    from repro.runner import ddos_request, run_many
+
     spec = DDOS_EXPERIMENTS[args.experiment]
     print(spec.describe())
-    result = run_ddos(spec, probe_count=args.probes, seed=args.seed)
+    request = ddos_request(spec, probe_count=args.probes, seed=args.seed)
+    [result] = run_many([request], jobs=args.jobs, cache=_make_cache(args))
     if args.export_trace:
         from repro.analysis.traceio import export_query_log
 
@@ -140,7 +175,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     losses = [float(value) for value in args.losses.split(",")]
     ttls = [int(value) for value in args.ttls.split(",")]
     sweep = run_sweep(
-        losses=losses, ttls=ttls, probe_count=args.probes, seed=args.seed
+        losses=losses,
+        ttls=ttls,
+        probe_count=args.probes,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_make_cache(args),
     )
     print("failure fraction during attack (rows: TTL, columns: loss)")
     header = f"{'TTL':>8} " + "".join(f"{loss:>9.0%}" for loss in sweep.losses())
@@ -161,6 +201,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         baseline_probes=args.baseline_probes,
         ddos_probes=args.ddos_probes,
         seed=args.seed,
+        jobs=args.jobs,
+        cache=_make_cache(args),
     )
     print(report)
     if args.output:
@@ -185,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     baseline.add_argument("experiment", choices=sorted(BASELINE_EXPERIMENTS))
     baseline.add_argument("--probes", type=int, default=600)
+    _add_runner_flags(baseline)
     baseline.set_defaults(func=_cmd_baseline)
 
     ddos = subparsers.add_parser("ddos", help="run a Table 4 DDoS experiment")
@@ -195,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the offered authoritative query trace as JSONL",
     )
+    _add_runner_flags(ddos)
     ddos.set_defaults(func=_cmd_ddos)
 
     analyze = subparsers.add_parser(
@@ -233,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--ttls", default="60,300,1800", help="comma list")
     sweep.add_argument("--probes", type=int, default=200)
     sweep.add_argument("--csv", metavar="PATH", help="write the surface as CSV")
+    _add_runner_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     report = subparsers.add_parser(
@@ -244,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--output", metavar="PATH", help="also write the report to a file"
     )
+    _add_runner_flags(report)
     report.set_defaults(func=_cmd_report)
 
     return parser

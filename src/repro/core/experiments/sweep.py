@@ -10,10 +10,13 @@ attack of intensity X?").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.clients.population import PopulationConfig
-from repro.core.experiments.ddos import DDoSSpec, run_ddos
+from repro.core.experiments.ddos import DDoSSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner import DiskCache
 
 
 @dataclass
@@ -78,12 +81,23 @@ def run_sweep(
     attack_start_min: float = 60.0,
     attack_duration_min: float = 60.0,
     population: Optional[PopulationConfig] = None,
+    jobs: Optional[int] = 1,
+    cache: Optional["DiskCache"] = None,
 ) -> SweepResult:
-    """Run the grid; one full DDoS experiment per cell."""
-    points: List[SweepPoint] = []
-    for ttl in ttls:
-        for loss in losses:
-            spec = DDoSSpec(
+    """Run the grid; one full DDoS experiment per cell.
+
+    Cells are independent runs, so the grid fans out over ``jobs`` worker
+    processes (``None``/0 = all cores; the default of 1 keeps library
+    callers serial) and previously-computed cells are reused from
+    ``cache``. Point order — and therefore every derived matrix — is the
+    (ttl, loss) grid order regardless of parallelism.
+    """
+    from repro.runner import ddos_request, run_many
+
+    cells = [(ttl, loss) for ttl in ttls for loss in losses]
+    requests = [
+        ddos_request(
+            DDoSSpec(
                 key=f"sweep-{ttl}-{int(loss * 100)}",
                 ttl=ttl,
                 ddos_start_min=attack_start_min,
@@ -93,17 +107,22 @@ def run_sweep(
                 probe_interval_min=10,
                 loss_fraction=loss,
                 servers="both",
-            )
-            result = run_ddos(
-                spec, probe_count=probe_count, seed=seed, population=population
-            )
-            points.append(
-                SweepPoint(
-                    loss_fraction=loss,
-                    ttl=ttl,
-                    failure_before=result.failure_fraction_before_attack(),
-                    failure_during=result.failure_fraction_during_attack(),
-                    amplification=result.amplification(),
-                )
-            )
+            ),
+            probe_count=probe_count,
+            seed=seed,
+            population=population,
+        )
+        for ttl, loss in cells
+    ]
+    results = run_many(requests, jobs=jobs, cache=cache)
+    points = [
+        SweepPoint(
+            loss_fraction=loss,
+            ttl=ttl,
+            failure_before=result.failure_fraction_before_attack(),
+            failure_during=result.failure_fraction_during_attack(),
+            amplification=result.amplification(),
+        )
+        for (ttl, loss), result in zip(cells, results)
+    ]
     return SweepResult(points=points, probe_count=probe_count, seed=seed)

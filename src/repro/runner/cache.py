@@ -1,0 +1,142 @@
+"""Persistent, content-addressed result cache.
+
+Every experiment run is a pure function of its request — spec fields,
+population size/shape, seed, wire format — and of the simulator code
+itself. The cache key is a SHA-256 over a canonical JSON encoding of the
+request plus :func:`code_fingerprint`, a digest of every ``.py`` file in
+the ``repro`` package. Editing any source file therefore invalidates the
+whole cache (conservative but sound: a kernel tweak can shift every
+derived number), while re-running the same battery across sessions is a
+pure disk read.
+
+Entries are pickles written atomically (temp file + rename) so a killed
+run never leaves a truncated entry behind; unreadable entries are treated
+as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Any, Optional
+
+import repro
+
+_FINGERPRINT: Optional[str] = None
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the cache location: ``$REPRO_CACHE_DIR`` or ``~/.cache``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-runs"
+
+
+def code_fingerprint() -> str:
+    """Digest of the installed ``repro`` source tree (cached per process)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a request component to JSON-encodable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                field.name: _canonical(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def cache_key(request: Any) -> str:
+    """Stable content hash for a :class:`~repro.runner.executor.RunRequest`."""
+    payload = json.dumps(
+        {"request": _canonical(request), "code": code_fingerprint()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class DiskCache:
+    """Pickle store addressed by :func:`cache_key` digests."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Load a cached result, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as stream:
+                value = pickle.load(stream)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # A truncated or stale-format entry is just a miss; the next
+            # put() replaces it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a result atomically (write-to-temp, then rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as stream:
+                pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,217 @@
+"""Process-parallel execution of independent experiment runs.
+
+Every run in a batch is independent (fresh testbed, own RNG streams
+derived from the request seed), so the executor is free to run them in
+any order on any worker: results are slotted back by request index,
+making ``jobs=N`` output identical to ``jobs=1`` output. Workers return
+detached (picklable) results — see :mod:`repro.runner.results` — which is
+also the shape the disk cache stores, so cold runs, warm-cache runs, and
+parallel runs all hand the caller equal objects.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.clients.population import PopulationConfig
+from repro.core.experiments.baseline import (
+    BaselineSpec,
+    run_baseline,
+)
+from repro.core.experiments.ddos import DDoSSpec, run_ddos
+from repro.runner.cache import DiskCache, cache_key
+from repro.runner.results import detach_result
+
+KIND_DDOS = "ddos"
+KIND_BASELINE = "baseline"
+KIND_GLUE = "glue"
+KIND_CACHE_DUMP = "cache_dump"
+KIND_SOFTWARE = "software"
+KIND_PROBE_CASE = "probe_case"
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One independent experiment run, fully described and hashable.
+
+    ``kind`` selects the experiment runner; ``spec`` is the matching spec
+    dataclass. The tuple of fields is everything a worker process needs,
+    and (with the code fingerprint) everything that determines the
+    result — which is what makes these requests cacheable.
+    """
+
+    kind: str
+    spec: Any = None
+    probe_count: int = 400
+    seed: int = 42
+    wire_format: bool = False
+    population: Optional[PopulationConfig] = None
+    # Runner-specific keyword arguments as a sorted tuple of pairs, so
+    # requests stay hashable and canonically serializable for cache keys.
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    def option_kwargs(self) -> dict:
+        return dict(self.options)
+
+
+def ddos_request(
+    spec: DDoSSpec,
+    probe_count: int = 400,
+    seed: int = 42,
+    population: Optional[PopulationConfig] = None,
+    wire_format: bool = False,
+) -> RunRequest:
+    return RunRequest(
+        KIND_DDOS, spec, probe_count, seed, wire_format, population
+    )
+
+
+def baseline_request(
+    spec: BaselineSpec,
+    probe_count: int = 600,
+    seed: int = 42,
+    population: Optional[PopulationConfig] = None,
+    wire_format: bool = False,
+) -> RunRequest:
+    return RunRequest(
+        KIND_BASELINE, spec, probe_count, seed, wire_format, population
+    )
+
+
+def glue_request(
+    probe_count: int = 800, seed: int = 42, **options: Any
+) -> RunRequest:
+    return RunRequest(
+        KIND_GLUE,
+        probe_count=probe_count,
+        seed=seed,
+        options=tuple(sorted(options.items())),
+    )
+
+
+def cache_dump_request(software: str = "bind", **options: Any) -> RunRequest:
+    options["software"] = software
+    return RunRequest(KIND_CACHE_DUMP, options=tuple(sorted(options.items())))
+
+
+def software_request(
+    software: str = "bind", under_attack: bool = False, seed: int = 7
+) -> RunRequest:
+    return RunRequest(
+        KIND_SOFTWARE,
+        seed=seed,
+        options=(("software", software), ("under_attack", under_attack)),
+    )
+
+
+def probe_case_request(seed: int = 11, **options: Any) -> RunRequest:
+    return RunRequest(
+        KIND_PROBE_CASE, seed=seed, options=tuple(sorted(options.items()))
+    )
+
+
+def execute_request(request: RunRequest):
+    """Run one request to completion and return the detached result.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it by reference; also the serial fallback, so both paths share
+    one code path per experiment kind.
+    """
+    kind = request.kind
+    if kind == KIND_DDOS:
+        result = run_ddos(
+            request.spec,
+            probe_count=request.probe_count,
+            seed=request.seed,
+            population=request.population,
+            wire_format=request.wire_format,
+        )
+    elif kind == KIND_BASELINE:
+        result = run_baseline(
+            request.spec,
+            probe_count=request.probe_count,
+            seed=request.seed,
+            population=request.population,
+            wire_format=request.wire_format,
+        )
+    elif kind == KIND_GLUE:
+        from repro.core.experiments.glue import run_glue_experiment
+
+        result = run_glue_experiment(
+            probe_count=request.probe_count,
+            seed=request.seed,
+            **request.option_kwargs(),
+        )
+    elif kind == KIND_CACHE_DUMP:
+        from repro.core.experiments.glue import run_cache_dump_study
+
+        result = run_cache_dump_study(**request.option_kwargs())
+    elif kind == KIND_SOFTWARE:
+        from repro.core.experiments.software import run_software_study
+
+        options = request.option_kwargs()
+        result = run_software_study(
+            options["software"], options["under_attack"], seed=request.seed
+        )
+    elif kind == KIND_PROBE_CASE:
+        from repro.core.experiments.probe_case import run_probe_case
+
+        result = run_probe_case(seed=request.seed, **request.option_kwargs())
+    else:
+        raise ValueError(f"unknown request kind {request.kind!r}")
+    return detach_result(result)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/0 means all cores."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_many(
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    cache: Optional[DiskCache] = None,
+) -> List[Any]:
+    """Execute a batch of runs, in parallel, through the cache.
+
+    Results come back in request order regardless of worker scheduling.
+    Cache hits are never re-run; misses are executed (fanned out when
+    ``jobs > 1`` and more than one run is pending) and written back.
+    """
+    jobs = resolve_jobs(jobs)
+    results: List[Any] = [None] * len(requests)
+
+    pending: List[int] = []
+    keys: List[Optional[str]] = [None] * len(requests)
+    for index, request in enumerate(requests):
+        if cache is not None:
+            keys[index] = cache_key(request)
+            hit = cache.get(keys[index])
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            for index in pending:
+                results[index] = execute_request(requests[index])
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    index: pool.submit(execute_request, requests[index])
+                    for index in pending
+                }
+                for index, future in futures.items():
+                    results[index] = future.result()
+        if cache is not None:
+            for index in pending:
+                cache.put(keys[index], results[index])
+
+    return results

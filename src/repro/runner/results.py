@@ -1,0 +1,63 @@
+"""Picklable result shapes for cross-process and cross-session transport.
+
+:class:`~repro.core.experiments.baseline.BaselineResult` is already a
+plain bundle of dataclasses, but
+:class:`~repro.core.experiments.ddos.DDoSResult` carries the live
+:class:`~repro.core.testbed.Testbed` it ran in — megabytes of wired
+simulator state full of bound callbacks that neither pickle nor belong in
+a result cache. Every derived series the analysis code reads off the
+testbed comes from exactly three attributes, so :class:`TestbedSnapshot`
+captures those and stands in for the testbed on detached results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.core.experiments.ddos import DDoSResult
+from repro.dnscore.name import Name
+from repro.servers.querylog import QueryLog
+
+
+@dataclass
+class TestbedSnapshot:
+    """The slice of a :class:`Testbed` that survives the run.
+
+    Duck-types the testbed for every consumer of a finished
+    :class:`DDoSResult`: the offered-load query log (Figures 10–12,
+    trace export) plus the zone origin and NS names used to classify
+    queries.
+    """
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    origin: Name
+    test_ns_names: List[Name]
+    offered_query_log: QueryLog
+
+    @classmethod
+    def from_testbed(cls, testbed) -> "TestbedSnapshot":
+        return cls(
+            origin=testbed.origin,
+            test_ns_names=list(testbed.test_ns_names),
+            offered_query_log=testbed.offered_query_log,
+        )
+
+
+def detach_result(result):
+    """Return a picklable equivalent of an experiment result.
+
+    DDoS results have their testbed replaced by a
+    :class:`TestbedSnapshot`; everything else passes through unchanged.
+    Idempotent, so cached and freshly-computed results take the same
+    shape.
+    """
+    if isinstance(result, DDoSResult) and not isinstance(
+        result.testbed, TestbedSnapshot
+    ):
+        return replace(
+            result, testbed=TestbedSnapshot.from_testbed(result.testbed)
+        )
+    return result

@@ -3,6 +3,12 @@
 Events are ordered by (time, sequence number) so simultaneous events run in
 the deterministic order they were scheduled, which keeps whole simulations
 reproducible from a single seed.
+
+The heap stores ``(time, seq, event)`` tuples rather than the events
+themselves: tuple comparison is handled entirely in C, so the kernel never
+pays for a Python-level ``__lt__`` call per sift step. Retry-heavy DDoS
+runs push and pop millions of events, which makes comparison cost the
+dominant term of the hot loop.
 """
 
 from __future__ import annotations
@@ -38,11 +44,20 @@ class Event:
         self._queue = queue
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Idempotent."""
+        """Prevent the event from firing. Idempotent.
+
+        Also drops the ``callback``/``args`` references: a cancelled event
+        stays in the heap until popped (lazy deletion), and in long
+        retry-heavy runs the pending closures would otherwise pin resolver
+        state long after the timers were abandoned.
+        """
         if not self.cancelled:
             self.cancelled = True
+            self.callback = None  # type: ignore[assignment]
+            self.args = ()
             if self._queue is not None:
                 self._queue._live -= 1
+                self._queue = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -60,7 +75,7 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list = []  # (time, seq, Event) tuples
         self._counter = itertools.count()
         self._live = 0
 
@@ -69,15 +84,17 @@ class EventQueue:
 
     def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time``."""
-        event = Event(time, next(self._counter), callback, args, queue=self)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, seq, callback, args, queue=self)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -87,10 +104,34 @@ class EventQueue:
             return event
         return None
 
+    def pop_due(self, limit: Optional[float] = None) -> Optional[Event]:
+        """Pop the earliest pending event if it is due at/before ``limit``.
+
+        Returns ``None`` when the queue is drained or the next event lies
+        beyond ``limit`` (leaving it scheduled). This fuses the
+        peek-then-pop pair the run loop would otherwise perform, halving
+        heap traffic in the kernel hot path.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if limit is not None and head[0] > limit:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            event._queue = None
+            return event
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]

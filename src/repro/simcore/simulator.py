@@ -41,9 +41,12 @@ class Simulator:
         self, delay: float, callback: Callable[..., Any], *args: Any
     ) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
-        return self._queue.push(self.now + delay, callback, args)
+        # Fast path: valid delays go straight to the queue. This method is
+        # the kernel's hottest entry point (every timer, retry, and packet
+        # hop), so the error branch is kept off the common path.
+        if delay >= 0:
+            return self._queue.push(self.now + delay, callback, args)
+        raise SimulationError(f"negative delay {delay!r}")
 
     def at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
@@ -67,15 +70,12 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._stopped = False
+        pop_due = self._queue.pop_due
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                event = pop_due(until)
+                if event is None:
                     break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
-                assert event is not None
                 self.now = event.time
                 self.events_processed += 1
                 event.callback(*event.args)
@@ -86,12 +86,18 @@ class Simulator:
 
     def step(self) -> bool:
         """Process a single event. Returns False if the queue was empty."""
+        if self._running:
+            raise SimulationError("step() is not reentrant")
         event = self._queue.pop()
         if event is None:
             return False
-        self.now = event.time
-        self.events_processed += 1
-        event.callback(*event.args)
+        self._running = True
+        try:
+            self.now = event.time
+            self.events_processed += 1
+            event.callback(*event.args)
+        finally:
+            self._running = False
         return True
 
     def stop(self) -> None:

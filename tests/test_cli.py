@@ -98,3 +98,40 @@ def test_cli_sweep_tiny(tmp_path, capsys):
     output = capsys.readouterr().out
     assert "failure fraction during attack" in output
     assert csv_path.read_text().startswith("loss,ttl,")
+
+
+def test_parser_accepts_runner_flags():
+    parser = build_parser()
+    for argv in (
+        ["report", "--jobs", "4", "--cache-dir", "/tmp/x"],
+        ["sweep", "--jobs", "2", "--cache-dir", "/tmp/x"],
+        ["ddos", "E", "--jobs", "1", "--cache-dir", "/tmp/x"],
+        ["baseline", "60", "--jobs", "1", "--cache-dir", "/tmp/x"],
+    ):
+        args = parser.parse_args(argv)
+        assert args.jobs is not None
+        assert args.cache_dir == "/tmp/x"
+
+
+def test_cli_baseline_with_cache_dir(tmp_path, capsys):
+    cache_dir = str(tmp_path / "runcache")
+    argv = ["baseline", "60", "--probes", "40", "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert list((tmp_path / "runcache").glob("*.pkl"))
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+
+
+def test_cli_ddos_with_jobs_and_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "runcache")
+    argv = [
+        "ddos", "G", "--probes", "30", "--jobs", "2", "--cache-dir", cache_dir,
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    assert "failures during attack" in warm

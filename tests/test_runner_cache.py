@@ -1,0 +1,98 @@
+"""Tests for the persistent result cache (repro.runner.cache)."""
+
+import pickle
+
+import pytest
+
+import repro.runner.cache as cache_module
+from repro.core.experiments import BASELINE_EXPERIMENTS, DDOS_EXPERIMENTS
+from repro.runner import (
+    DiskCache,
+    baseline_request,
+    cache_key,
+    code_fingerprint,
+    ddos_request,
+    glue_request,
+)
+
+
+def test_code_fingerprint_stable_within_process():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 16
+
+
+def test_cache_key_is_stable_for_equal_requests():
+    first = ddos_request(DDOS_EXPERIMENTS["A"], probe_count=100, seed=1)
+    second = ddos_request(DDOS_EXPERIMENTS["A"], probe_count=100, seed=1)
+    assert cache_key(first) == cache_key(second)
+
+
+def test_cache_key_differs_across_request_fields():
+    base = ddos_request(DDOS_EXPERIMENTS["A"], probe_count=100, seed=1)
+    keys = {
+        cache_key(base),
+        cache_key(ddos_request(DDOS_EXPERIMENTS["B"], probe_count=100, seed=1)),
+        cache_key(ddos_request(DDOS_EXPERIMENTS["A"], probe_count=101, seed=1)),
+        cache_key(ddos_request(DDOS_EXPERIMENTS["A"], probe_count=100, seed=2)),
+        cache_key(
+            baseline_request(BASELINE_EXPERIMENTS["60"], probe_count=100, seed=1)
+        ),
+        cache_key(glue_request(probe_count=100, seed=1, rounds=3)),
+    }
+    assert len(keys) == 6
+
+
+def test_cache_key_changes_with_code_fingerprint(monkeypatch):
+    request = ddos_request(DDOS_EXPERIMENTS["A"])
+    before = cache_key(request)
+    monkeypatch.setattr(cache_module, "_FINGERPRINT", "0" * 16)
+    after = cache_key(request)
+    assert before != after
+
+
+def test_disk_cache_roundtrip(tmp_path):
+    cache = DiskCache(tmp_path)
+    assert cache.get("deadbeef") is None
+    cache.put("deadbeef", {"value": 42})
+    assert cache.get("deadbeef") == {"value": 42}
+    assert "deadbeef" in cache
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_disk_cache_treats_corruption_as_miss(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("key", [1, 2, 3])
+    cache.path_for("key").write_bytes(b"not a pickle")
+    assert cache.get("key") is None
+    cache.put("key", [4, 5])
+    assert cache.get("key") == [4, 5]
+
+
+def test_disk_cache_write_is_atomic(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("key", list(range(100)))
+    # No temp droppings left behind.
+    assert [p.name for p in tmp_path.iterdir()] == ["key.pkl"]
+    with cache.path_for("key").open("rb") as stream:
+        assert pickle.load(stream) == list(range(100))
+
+
+def test_disk_cache_clear(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.clear() == 2
+    assert cache.get("a") is None
+
+
+def test_default_cache_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache_module.CACHE_DIR_ENV, str(tmp_path / "runs"))
+    assert cache_module.default_cache_dir() == tmp_path / "runs"
+
+
+def test_canonical_encoding_handles_nested_dataclasses():
+    request = ddos_request(DDOS_EXPERIMENTS["A"], probe_count=10, seed=3)
+    encoded = cache_module._canonical(request)
+    assert encoded["__dataclass__"] == "RunRequest"
+    assert encoded["spec"]["__dataclass__"] == "DDoSSpec"
+    assert encoded["spec"]["ttl"] == 3600

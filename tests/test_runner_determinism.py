@@ -1,0 +1,94 @@
+"""Parallel-vs-serial determinism across the full experiment battery.
+
+The executor's contract is that ``jobs=N`` output is identical to
+``jobs=1`` output, and that a cache hit is indistinguishable from a
+fresh run. These tests run every DDoS scenario A–I and every caching
+baseline at reduced scale both ways and compare the derived metrics the
+paper's tables and figures are built from.
+"""
+
+import pytest
+
+from repro.core.experiments import BASELINE_EXPERIMENTS, DDOS_EXPERIMENTS
+from repro.runner import (
+    DiskCache,
+    baseline_request,
+    ddos_request,
+    run_many,
+)
+
+DDOS_PROBES = 24
+BASELINE_PROBES = 40
+SEED = 42
+
+
+def ddos_metrics(result):
+    """Every testbed- and client-side series a DDoS figure reads."""
+    return {
+        "outcomes": result.outcomes_by_round(),
+        "classes": result.class_timeseries(),
+        "fail_before": result.failure_fraction_before_attack(),
+        "fail_during": result.failure_fraction_during_attack(),
+        "amplification": result.amplification(),
+        "auth_load": result.authoritative_load(),
+        "unique_rn": result.unique_rn(),
+        "latency": [
+            (row.round_index, row.mean_ms, row.median_ms)
+            for row in result.latency_series()
+        ],
+    }
+
+
+def baseline_metrics(result):
+    return {
+        "miss_rate": result.miss_rate,
+        "dataset": result.dataset.as_rows(),
+        "table2": result.table2.as_rows(),
+        "table3": result.table3.as_rows(),
+        "classes": result.class_timeseries(),
+    }
+
+
+@pytest.fixture(scope="module")
+def battery_requests():
+    return [
+        ddos_request(spec, probe_count=DDOS_PROBES, seed=SEED)
+        for spec in DDOS_EXPERIMENTS.values()
+    ] + [
+        baseline_request(spec, probe_count=BASELINE_PROBES, seed=SEED)
+        for spec in BASELINE_EXPERIMENTS.values()
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results(battery_requests):
+    return run_many(battery_requests, jobs=1)
+
+
+def metrics_of(results):
+    ddos_count = len(DDOS_EXPERIMENTS)
+    return [
+        ddos_metrics(result) if index < ddos_count else baseline_metrics(result)
+        for index, result in enumerate(results)
+    ]
+
+
+def test_jobs4_identical_to_jobs1(battery_requests, serial_results):
+    parallel = run_many(battery_requests, jobs=4)
+    assert metrics_of(parallel) == metrics_of(serial_results)
+
+
+def test_cache_hit_equals_fresh_run(tmp_path, battery_requests, serial_results):
+    cache = DiskCache(tmp_path)
+    cold = run_many(battery_requests, jobs=1, cache=cache)
+    assert cache.misses == len(battery_requests) and cache.hits == 0
+    warm = run_many(battery_requests, jobs=4, cache=cache)
+    assert cache.hits == len(battery_requests)
+    assert metrics_of(cold) == metrics_of(serial_results)
+    assert metrics_of(warm) == metrics_of(serial_results)
+
+
+def test_every_scenario_key_covered(battery_requests):
+    keys = {request.spec.key for request in battery_requests}
+    assert set(DDOS_EXPERIMENTS) <= keys
+    assert set(BASELINE_EXPERIMENTS) <= keys

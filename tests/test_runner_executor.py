@@ -1,0 +1,125 @@
+"""Tests for the parallel experiment executor (repro.runner.executor)."""
+
+import pytest
+
+from repro.core.experiments import (
+    BASELINE_EXPERIMENTS,
+    DDOS_EXPERIMENTS,
+    run_ddos,
+)
+from repro.core.experiments.ddos import DDoSResult
+from repro.runner import (
+    DiskCache,
+    RunRequest,
+    TestbedSnapshot,
+    baseline_request,
+    cache_dump_request,
+    ddos_request,
+    detach_result,
+    execute_request,
+    glue_request,
+    probe_case_request,
+    resolve_jobs,
+    run_many,
+    software_request,
+)
+
+SMALL = 30
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ValueError, match="unknown request kind"):
+        execute_request(RunRequest("nonsense"))
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+    assert resolve_jobs(3) == 3
+
+
+def test_execute_request_returns_detached_ddos_result():
+    request = ddos_request(DDOS_EXPERIMENTS["G"], probe_count=SMALL, seed=7)
+    result = execute_request(request)
+    assert isinstance(result, DDoSResult)
+    assert isinstance(result.testbed, TestbedSnapshot)
+    # The snapshot still feeds every testbed-derived series.
+    assert result.amplification() > 0
+    assert result.unique_rn()
+    assert result.per_probe()
+
+
+def test_detach_result_matches_live_result():
+    live = run_ddos(DDOS_EXPERIMENTS["G"], probe_count=SMALL, seed=7)
+    detached = detach_result(live)
+    assert detached.outcomes_by_round() == live.outcomes_by_round()
+    assert detached.amplification() == live.amplification()
+    assert detached.authoritative_load() == live.authoritative_load()
+    # Idempotent.
+    assert detach_result(detached) is detached
+
+
+def test_run_many_preserves_request_order():
+    requests = [
+        ddos_request(DDOS_EXPERIMENTS["G"], probe_count=SMALL, seed=7),
+        baseline_request(BASELINE_EXPERIMENTS["60"], probe_count=40, seed=7),
+        software_request("bind", True, seed=7),
+    ]
+    results = run_many(requests, jobs=1)
+    assert results[0].spec.key == "G"
+    assert results[1].spec.key == "60"
+    assert results[2].software == "bind" and results[2].under_attack
+
+
+def test_run_many_parallel_matches_serial_mixed_kinds():
+    requests = [
+        software_request("bind", False, seed=7),
+        software_request("unbound", True, seed=7),
+        cache_dump_request("bind"),
+        probe_case_request(seed=11, rounds=5),
+        glue_request(probe_count=40, seed=7, rounds=2),
+    ]
+    serial = run_many(requests, jobs=1)
+    parallel = run_many(requests, jobs=4)
+    assert serial[0].as_row() == parallel[0].as_row()
+    assert serial[1].as_row() == parallel[1].as_row()
+    assert serial[2].ns_cached_ttl == parallel[2].ns_cached_ttl
+    assert [row.auth_queries for row in serial[3].rows] == [
+        row.auth_queries for row in parallel[3].rows
+    ]
+    assert serial[4].ns_buckets == parallel[4].ns_buckets
+
+
+def test_run_many_uses_cache(tmp_path):
+    cache = DiskCache(tmp_path)
+    requests = [baseline_request(BASELINE_EXPERIMENTS["60"], probe_count=40)]
+    first = run_many(requests, jobs=1, cache=cache)
+    assert cache.misses == 1 and cache.hits == 0
+    second = run_many(requests, jobs=1, cache=cache)
+    assert cache.hits == 1
+    assert first[0].miss_rate == second[0].miss_rate
+    assert first[0].dataset == second[0].dataset
+    assert first[0].table2 == second[0].table2
+
+
+def test_run_many_partial_cache_hit(tmp_path):
+    cache = DiskCache(tmp_path)
+    first = run_many(
+        [baseline_request(BASELINE_EXPERIMENTS["60"], probe_count=40)],
+        cache=cache,
+    )
+    mixed = run_many(
+        [
+            baseline_request(BASELINE_EXPERIMENTS["60"], probe_count=40),
+            software_request("bind", False),
+        ],
+        jobs=1,
+        cache=cache,
+    )
+    assert cache.hits == 1
+    assert mixed[0].table2 == first[0].table2
+    assert mixed[1].software == "bind"
+
+
+def test_run_many_empty_batch():
+    assert run_many([], jobs=4) == []

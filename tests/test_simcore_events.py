@@ -75,3 +75,33 @@ def test_event_carries_args():
     event = queue.pop()
     event.callback(*event.args)
     assert received == [(1, 2)]
+
+
+def test_cancel_releases_callback_and_args():
+    # Cancelled events sit in the heap until popped (lazy deletion); the
+    # closure and its arguments must not be pinned for that whole time.
+    queue = EventQueue()
+    payload = object()
+    event = queue.push(1.0, lambda value: value, (payload,))
+    event.cancel()
+    assert event.callback is None
+    assert event.args == ()
+
+
+def test_pop_due_respects_limit():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    assert queue.pop_due(0.5) is None
+    assert queue.pop_due(1.0) is first
+    assert queue.pop_due(2.0) is None
+    assert len(queue) == 1
+
+
+def test_pop_due_skips_cancelled_and_drains():
+    queue = EventQueue()
+    cancelled = queue.push(1.0, lambda: None)
+    keep = queue.push(2.0, lambda: None)
+    cancelled.cancel()
+    assert queue.pop_due(None) is keep
+    assert queue.pop_due(None) is None

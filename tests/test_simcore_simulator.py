@@ -129,3 +129,36 @@ def test_events_processed_counter():
         sim.call_later(1.0, lambda: None)
     sim.run()
     assert sim.events_processed == 5
+
+
+def test_step_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.step()
+        errors.append("guarded")
+
+    sim.call_later(1.0, reenter)
+    sim.run()
+    assert errors == ["guarded"]
+
+
+def test_step_from_run_callback_raises():
+    sim = Simulator()
+    caught = []
+
+    def reenter():
+        try:
+            sim.step()
+        except SimulationError:
+            caught.append(True)
+
+    sim.call_later(1.0, reenter)
+    sim.call_later(2.0, lambda: None)
+    sim.run()
+    assert caught == [True]
+    # The second event must still fire through run(), untouched by the
+    # failed step() attempt.
+    assert sim.events_processed == 2
