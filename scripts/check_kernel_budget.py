@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Assert the simulation kernel stays within budget of its recorded pace.
+
+The observability layer promises to be zero-cost when disabled; this
+script enforces that promise. It re-runs the two kernel micro-benchmark
+workloads from ``benchmarks/test_bench_kernel.py`` (tracing and
+profiling off, best of ``--rounds``) and compares the throughput against
+the committed numbers in ``benchmarks/output/kernel_burst.txt`` and
+``kernel_retry.txt``, failing if either workload is more than
+``--tolerance`` slower.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_kernel_budget.py --tolerance 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import time
+
+BASELINE_PATTERN = re.compile(r"\(([\d,]+) (?:events|timers)/s\)")
+
+
+def read_baseline(path: pathlib.Path) -> float:
+    text = path.read_text(encoding="utf-8")
+    match = BASELINE_PATTERN.search(text)
+    if match is None:
+        raise SystemExit(
+            f"check_kernel_budget: no throughput figure in {path}"
+        )
+    return float(match.group(1).replace(",", ""))
+
+
+def best_rate(workload, operations: int, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return operations / best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown vs the committed numbers",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timing rounds (best is used)"
+    )
+    args = parser.parse_args(argv)
+
+    # Reuse the exact benchmark workloads so the comparison is
+    # apples-to-apples with the committed output files.
+    bench_dir = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+    sys.path.insert(0, str(bench_dir))
+    from test_bench_kernel import (
+        BURST_EVENTS,
+        RETRY_TIMERS,
+        drain_burst,
+        retry_storm,
+    )
+
+    checks = [
+        ("burst", drain_burst, BURST_EVENTS, bench_dir / "output" / "kernel_burst.txt"),
+        ("retry-storm", retry_storm, 2 * RETRY_TIMERS, bench_dir / "output" / "kernel_retry.txt"),
+    ]
+    failed = False
+    for name, workload, operations, baseline_path in checks:
+        baseline = read_baseline(baseline_path)
+        measured = best_rate(workload, operations, args.rounds)
+        floor = baseline * (1.0 - args.tolerance)
+        verdict = "ok" if measured >= floor else "TOO SLOW"
+        print(
+            f"check_kernel_budget: {name}: {measured:,.0f}/s vs baseline "
+            f"{baseline:,.0f}/s (floor {floor:,.0f}/s) {verdict}"
+        )
+        if measured < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Validate a span-trace JSONL file (schema + lifecycle completeness).
+
+Checks every row against the span schema and every trace for chain
+completeness: exactly one ``issue`` span first, exactly one terminal
+outcome span, no orphans. This is the acceptance gate CI applies to the
+traced smoke run.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_spans.py spans.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="span JSONL file (from --trace)")
+    args = parser.parse_args(argv)
+
+    from repro.obs import SpanFormatError, import_spans, validate_span_chains
+
+    with open(args.path, "r", encoding="utf-8") as stream:
+        try:
+            spans = import_spans(stream)
+        except SpanFormatError as exc:
+            print(f"validate_spans: {args.path}: {exc}", file=sys.stderr)
+            return 1
+    if not spans:
+        print(f"validate_spans: {args.path}: no spans", file=sys.stderr)
+        return 1
+    try:
+        chains = validate_span_chains(spans)
+    except SpanFormatError as exc:
+        print(f"validate_spans: {args.path}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"validate_spans: {args.path}: {len(spans)} spans, "
+        f"{len(chains)} complete query lifecycles"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,7 @@ from repro.core.experiments.probe_case import run_probe_case
 from repro.core.experiments.software import run_software_study
 from repro.dnscore import Message, Name, RRType, Zone
 from repro.netem import AttackSchedule, AttackWindow, Network
+from repro.obs import MetricsRegistry, ObsSpec, Tracer
 from repro.runner import (
     DiskCache,
     RunRequest,
@@ -90,8 +91,10 @@ __all__ = [
     "DnsCache",
     "ForwardingResolver",
     "Message",
+    "MetricsRegistry",
     "Name",
     "Network",
+    "ObsSpec",
     "Population",
     "PopulationConfig",
     "Probe",
@@ -106,6 +109,7 @@ __all__ = [
     "StubResolver",
     "Testbed",
     "TestbedConfig",
+    "Tracer",
     "Zone",
     "ZoneSpec",
     "baseline_request",

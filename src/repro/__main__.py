@@ -3,6 +3,9 @@
 Examples::
 
     python -m repro ddos H --probes 500
+    python -m repro ddos H --trace spans.jsonl --metrics-out metrics.jsonl
+    python -m repro analyze-trace spans.jsonl --mode trace-summary
+    python -m repro profile H --probes 200
     python -m repro baseline 1800 --probes 600
     python -m repro software --attack
     python -m repro glue
@@ -42,6 +45,45 @@ def _make_cache(args: argparse.Namespace):
     return cache
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="trace every query lifecycle and write the spans as JSONL",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="collect component metrics and write per-round snapshots as JSONL",
+    )
+
+
+def _obs_spec(args: argparse.Namespace):
+    """Build the run's ``ObsSpec`` from ``--trace``/``--metrics-out``."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics_out", None)
+    if trace is None and metrics is None:
+        return None
+    from repro.obs import ObsSpec
+
+    return ObsSpec(trace=trace is not None, metrics=metrics is not None)
+
+
+def _write_obs_outputs(args, spans, snapshots, run=None) -> None:
+    if getattr(args, "trace", None):
+        from repro.obs import export_spans
+
+        with open(args.trace, "w", encoding="utf-8") as stream:
+            rows = export_spans(spans, stream, run=run)
+        print(f"wrote {rows} spans to {args.trace}")
+    if getattr(args, "metrics_out", None):
+        from repro.obs import export_metrics
+
+        with open(args.metrics_out, "w", encoding="utf-8") as stream:
+            rows = export_metrics(snapshots, stream, run=run)
+        print(f"wrote {rows} metric snapshots to {args.metrics_out}")
+
+
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -61,8 +103,16 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     from repro.runner import baseline_request, run_many
 
     spec = BASELINE_EXPERIMENTS[args.experiment]
-    request = baseline_request(spec, probe_count=args.probes, seed=args.seed)
+    request = baseline_request(
+        spec, probe_count=args.probes, seed=args.seed, obs=_obs_spec(args)
+    )
     [result] = run_many([request], jobs=args.jobs, cache=_make_cache(args))
+    _write_obs_outputs(
+        args,
+        result.spans,
+        result.metric_snapshots,
+        run=f"baseline-{args.experiment}",
+    )
     print(render_kv_table(f"Dataset (TTL {args.experiment})", result.dataset.as_rows()))
     print()
     print(render_kv_table("Classification (Table 2)", result.table2.as_rows()))
@@ -77,8 +127,16 @@ def _cmd_ddos(args: argparse.Namespace) -> int:
 
     spec = DDOS_EXPERIMENTS[args.experiment]
     print(spec.describe())
-    request = ddos_request(spec, probe_count=args.probes, seed=args.seed)
+    request = ddos_request(
+        spec, probe_count=args.probes, seed=args.seed, obs=_obs_spec(args)
+    )
     [result] = run_many([request], jobs=args.jobs, cache=_make_cache(args))
+    _write_obs_outputs(
+        args,
+        result.testbed.spans,
+        result.testbed.metric_snapshots,
+        run=f"ddos-{args.experiment}",
+    )
     if args.export_trace:
         from repro.analysis.traceio import export_query_log
 
@@ -154,6 +212,20 @@ def _cmd_probe_case(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze_trace(args: argparse.Namespace) -> int:
+    if args.mode == "trace-summary":
+        from repro.obs import SpanFormatError, import_spans, summarize_spans
+
+        with open(args.path, "r", encoding="utf-8") as stream:
+            try:
+                spans = import_spans(stream)
+            except SpanFormatError as exc:
+                raise SystemExit(f"error: {args.path}: {exc}")
+        try:
+            print(summarize_spans(spans, top_n=args.top))
+        except SpanFormatError as exc:
+            raise SystemExit(f"error: {args.path}: {exc}")
+        return 0
+
     from repro.analysis.traceio import analyze_trace, import_query_log
 
     with open(args.path, "r", encoding="utf-8") as stream:
@@ -194,6 +266,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.experiments.ddos import run_ddos
+    from repro.obs import ObsSpec
+
+    spec = DDOS_EXPERIMENTS[args.experiment]
+    print(spec.describe())
+    print(f"profiling with {args.probes} probes ...")
+    result = run_ddos(
+        spec,
+        probe_count=args.probes,
+        seed=args.seed,
+        obs=ObsSpec(profile=True),
+    )
+    profile = result.testbed.profile_summary()
+    print()
+    print(
+        render_kv_table(
+            "Simulation kernel profile",
+            [
+                ("events processed", f"{profile['events']:,}"),
+                ("wall time", f"{profile['wall_seconds']:.2f} s"),
+                ("sim time", f"{profile['sim_seconds']:.0f} s"),
+                ("events / wall second", f"{profile['events_per_second']:,.0f}"),
+                (
+                    "wall time per sim second",
+                    f"{profile['wall_per_sim_second'] * 1e6:.1f} us",
+                ),
+                ("max event-heap depth", f"{profile['max_heap']:,}"),
+            ],
+        )
+    )
+    print(f"\ntop {args.top} callback sites by wall time:")
+    print(f"{'wall':>10} {'calls':>10}  site")
+    for name, stats in list(profile["sites"].items())[: args.top]:
+        print(
+            f"{stats['wall_seconds'] * 1e3:>8.1f}ms {stats['calls']:>10,}  {name}"
+        )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
 
@@ -203,6 +315,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cache=_make_cache(args),
+        trace_path=args.trace,
+        metrics_path=args.metrics_out,
     )
     print(report)
     if args.output:
@@ -228,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     baseline.add_argument("experiment", choices=sorted(BASELINE_EXPERIMENTS))
     baseline.add_argument("--probes", type=int, default=600)
     _add_runner_flags(baseline)
+    _add_obs_flags(baseline)
     baseline.set_defaults(func=_cmd_baseline)
 
     ddos = subparsers.add_parser("ddos", help="run a Table 4 DDoS experiment")
@@ -239,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the offered authoritative query trace as JSONL",
     )
     _add_runner_flags(ddos)
+    _add_obs_flags(ddos)
     ddos.set_defaults(func=_cmd_ddos)
 
     analyze = subparsers.add_parser(
@@ -247,7 +363,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("path", help="JSONL trace file")
     analyze.add_argument(
+        "--mode",
+        choices=["querylog", "trace-summary"],
+        default="querylog",
+        help=(
+            "querylog: §4 analysis of an offered-query trace; "
+            "trace-summary: lifecycle summary of a --trace span file"
+        ),
+    )
+    analyze.add_argument(
         "--ttl", type=float, default=3600.0, help="reference record TTL"
+    )
+    analyze.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="slowest lifecycles listed by trace-summary mode",
     )
     analyze.set_defaults(func=_cmd_analyze_trace)
 
@@ -280,6 +412,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile the simulation kernel over one DDoS experiment",
+    )
+    profile.add_argument(
+        "experiment", nargs="?", default="H", choices=sorted(DDOS_EXPERIMENTS)
+    )
+    profile.add_argument("--probes", type=int, default=200)
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="callback sites listed (by wall time)",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
     report = subparsers.add_parser(
         "report",
         help="run every experiment and print the paper-vs-measured report",
@@ -290,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="PATH", help="also write the report to a file"
     )
     _add_runner_flags(report)
+    _add_obs_flags(report)
     report.set_defaults(func=_cmd_report)
 
     return parser

@@ -223,11 +223,16 @@ def build_population(
     allocator: Optional[AddressAllocator] = None,
     latency: Optional[PerHostLatency] = None,
     zone_origin: Optional[Name] = None,
+    tracer=None,
+    metrics=None,
 ) -> Population:
     """Construct the full client world on the given network.
 
     ``zone_origin`` is the measurement zone; each probe's unique query
     name is ``{probe_id}.<zone_origin>``.
+
+    ``tracer``/``metrics`` are the observability sinks (or ``None``),
+    threaded into every stub, forwarder, pool, and recursive built here.
     """
     config = config or PopulationConfig()
     allocator = allocator or default_allocator()
@@ -311,6 +316,8 @@ def build_population(
                 config=make_resolver_config(None),
                 name=f"isp{site_index}",
                 rng=resolver_rng(),
+                tracer=tracer,
+                metrics=metrics,
             )
             recursives.append(resolver)
             registry.register_recursive(address, "isp")
@@ -337,6 +344,8 @@ def build_population(
                 name=f"cluster{site_index}",
                 rng=resolver_rng(),
                 backend_config_factory=lambda index: make_resolver_config(None),
+                tracer=tracer,
+                metrics=metrics,
             )
             pools.append(pool)
             registry.register_recursive(ingress, "cluster")
@@ -370,6 +379,8 @@ def build_population(
             name=spec.key,
             rng=resolver_rng(),
             backend_config_factory=lambda index, spec=spec: make_resolver_config(spec),
+            tracer=tracer,
+            metrics=metrics,
         )
         pools.append(pool)
         registry.register_public_ingress(ingress, spec.key, spec.google_like)
@@ -488,6 +499,8 @@ def build_population(
                     upstreams,
                     config=forwarder_config,
                     name=f"fwd-p{probe_id}",
+                    tracer=tracer,
+                    metrics=metrics,
                 )
                 forwarders.append(forwarder)
                 registry.register_recursive(fwd_address, "forwarder")
@@ -501,6 +514,8 @@ def build_population(
             r1_addresses,
             results=results,
             timeout=config.stub_timeout,
+            tracer=tracer,
+            metrics=metrics,
         )
         qname = origin.child(str(probe_id))
         probes.append(Probe(probe_id, stub, qname, r1_kinds))

@@ -9,7 +9,7 @@ classes), Table 3 (public-resolver attribution of misses), Figure 3
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.clients.population import PopulationConfig
@@ -23,6 +23,7 @@ from repro.core.classification import (
 )
 from repro.core.metrics import round_index_of
 from repro.core.testbed import Testbed, TestbedConfig
+from repro.obs import ObsSpec
 from repro.resolvers.stub import StubAnswer
 
 
@@ -87,6 +88,12 @@ class BaselineResult:
     table3: MissAttribution
     classified: List[ClassifiedAnswer]
     answers: List[StubAnswer]
+    # Observability payloads (empty/None unless the run enabled them).
+    # BaselineResult has no live testbed reference, so telemetry is
+    # carried directly and survives pickling through the runner cache.
+    spans: List = field(default_factory=list, repr=False)
+    metric_snapshots: List = field(default_factory=list, repr=False)
+    profile: Optional[dict] = field(default=None, repr=False)
 
     @property
     def miss_rate(self) -> float:
@@ -132,6 +139,7 @@ def run_baseline(
     seed: int = 42,
     population: Optional[PopulationConfig] = None,
     wire_format: bool = False,
+    obs: Optional[ObsSpec] = None,
 ) -> BaselineResult:
     """Run one baseline experiment end to end."""
     population_config = population or PopulationConfig(probe_count=probe_count)
@@ -141,13 +149,16 @@ def run_baseline(
             zone_ttl=spec.ttl,
             population=population_config,
             wire_format=wire_format,
+            obs=obs,
         )
     )
     duration = spec.duration
     testbed.schedule_rotations(duration)
     testbed.schedule_churn(duration)
     testbed.schedule_probing(0.0, spec.probe_interval, spec.rounds)
+    testbed.schedule_metric_snapshots(spec.probe_interval, spec.rounds)
     testbed.run(duration)
+    testbed.take_metric_snapshot(spec.rounds)
 
     answers = testbed.population.results
     counts = dataset_counts(testbed, answers)
@@ -165,4 +176,7 @@ def run_baseline(
         table3=table3,
         classified=classified,
         answers=answers,
+        spans=list(testbed.spans),
+        metric_snapshots=list(testbed.metric_snapshots),
+        profile=testbed.profile_summary(),
     )

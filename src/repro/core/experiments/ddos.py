@@ -33,6 +33,7 @@ from repro.core.metrics import (
     unique_rn_by_round,
 )
 from repro.core.testbed import Testbed, TestbedConfig
+from repro.obs import ObsSpec
 from repro.resolvers.stub import StubAnswer
 
 
@@ -184,6 +185,7 @@ def run_ddos(
     seed: int = 42,
     population: Optional[PopulationConfig] = None,
     wire_format: bool = False,
+    obs: Optional[ObsSpec] = None,
 ) -> DDoSResult:
     """Run one Table 4 experiment end to end.
 
@@ -191,6 +193,10 @@ def run_ddos(
     after the attack, per the paper's timeline; the offered query load at
     the authoritatives is measured before the attack drop (the drop
     happens at the network, mirroring iptables at the last hop).
+
+    ``obs`` enables the observability layers; with metrics on, the
+    registry is snapshotted at every round boundary plus once after the
+    run (the grace-period tail, labelled with the round count).
     """
     population_config = population or PopulationConfig(probe_count=probe_count)
     testbed = Testbed(
@@ -199,6 +205,7 @@ def run_ddos(
             zone_ttl=spec.ttl,
             population=population_config,
             wire_format=wire_format,
+            obs=obs,
         )
     )
     duration = spec.total_duration_min * 60.0
@@ -215,7 +222,9 @@ def run_ddos(
     testbed.schedule_churn(duration)
     rounds = int(spec.total_duration_min / spec.probe_interval_min)
     testbed.schedule_probing(0.0, spec.round_seconds, rounds)
+    testbed.schedule_metric_snapshots(spec.round_seconds, rounds)
     testbed.run(duration)
+    testbed.take_metric_snapshot(rounds)
 
     answers = testbed.population.results
     _table, classified = classify_answers(answers, spec.ttl, testbed.rotation)

@@ -25,6 +25,7 @@ from repro.netem.address import default_allocator
 from repro.netem.attack import AttackSchedule, AttackWindow
 from repro.netem.link import PerHostLatency, draw_authoritative_base
 from repro.netem.transport import Network
+from repro.obs import Observability, ObsSpec
 from repro.servers.authoritative import AuthoritativeServer
 from repro.servers.hierarchy import (
     PROBE_ANSWER_PREFIX,
@@ -63,6 +64,8 @@ class TestbedConfig:
     baseline_loss: float = 0.004
     wire_format: bool = False
     population: PopulationConfig = field(default_factory=PopulationConfig)
+    # Observability layers (tracing / metrics / profiling); None = all off.
+    obs: Optional[ObsSpec] = None
 
 
 class Testbed:
@@ -75,6 +78,9 @@ class Testbed:
         self.config = config or TestbedConfig()
         config = self.config
         self.sim = Simulator()
+        self.obs = Observability.build(config.obs, self.sim)
+        tracer = self.obs.tracer
+        registry = self.obs.registry
         self.streams = RandomStreams(config.seed)
         self.allocator = default_allocator()
         self.latency = PerHostLatency(jitter=0.2)
@@ -86,6 +92,7 @@ class Testbed:
             attacks=self.attacks,
             baseline_loss=config.baseline_loss,
             wire_format=config.wire_format,
+            tracer=tracer,
         )
         self.rotation = RotationSchedule(
             initial_serial=1, interval=config.rotation_interval
@@ -180,6 +187,7 @@ class Testbed:
                     [self.test_zone],
                     name=f"at-{host.split('.')[0]}",
                     query_log=self.query_log,
+                    tracer=tracer,
                 )
             )
         self.root_hints = [server.address for server in self.root_servers]
@@ -209,7 +217,24 @@ class Testbed:
             allocator=self.allocator,
             latency=self.latency,
             zone_origin=self.origin,
+            tracer=tracer,
+            metrics=registry,
         )
+
+        # Pull-style collectors: state that already lives on components is
+        # sampled at snapshot time rather than double-counted on hot paths.
+        if registry is not None:
+            registry.register_collector("net", self.network.counters.as_dict)
+            registry.register_collector(
+                "auth.served",
+                lambda: {
+                    server.name: server.queries_received
+                    for server in self.test_servers
+                },
+            )
+            registry.register_collector(
+                "auth.offered", self.offered_query_log.per_server_counts
+            )
 
     def _make_offered_tap(self, server_name: str):
         def tap(packet) -> None:
@@ -254,6 +279,39 @@ class Testbed:
             spread,
             self.streams.stream("probing"),
         )
+
+    def schedule_metric_snapshots(self, interval: float, rounds: int) -> None:
+        """Snapshot the registry at the end of each probing round.
+
+        No-op when metrics are disabled. Experiments typically take one
+        more snapshot manually after :meth:`run` returns, capturing the
+        grace-period tail.
+        """
+        registry = self.obs.registry
+        if registry is None:
+            return
+        for round_index in range(rounds):
+            boundary = (round_index + 1) * interval
+            self.sim.at(boundary, registry.snapshot, boundary, round_index)
+
+    def take_metric_snapshot(self, round_index: int) -> None:
+        """Snapshot now (used for the final post-run reading)."""
+        registry = self.obs.registry
+        if registry is not None:
+            registry.snapshot(self.sim.now, round_index)
+
+    # Observability accessors: TestbedSnapshot duck-types these, so
+    # analysis code works against live and detached testbeds alike.
+    @property
+    def spans(self):
+        return self.obs.spans
+
+    @property
+    def metric_snapshots(self):
+        return self.obs.metric_snapshots
+
+    def profile_summary(self):
+        return self.obs.profile_summary()
 
     def schedule_churn(self, duration: float) -> int:
         return self.population.schedule_cache_churn(

@@ -67,6 +67,7 @@ class Message:
         "authority",
         "additional",
         "edns_payload",
+        "trace_id",
     )
 
     def __init__(
@@ -100,6 +101,10 @@ class Message:
         # EDNS0 (RFC 6891): advertised UDP payload size; None = no OPT
         # pseudo-record (plain DNS, 512-byte limit).
         self.edns_payload = edns_payload
+        # Observability: id of the stub query lifecycle this message
+        # belongs to (None in untraced runs). Not part of the wire format;
+        # the network re-attaches it across serialization.
+        self.trace_id: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Interpretation helpers

@@ -79,10 +79,12 @@ class Network:
         attacks: Optional[AttackSchedule] = None,
         baseline_loss: float = 0.0,
         wire_format: bool = False,
+        tracer=None,
     ) -> None:
         if not 0.0 <= baseline_loss < 1.0:
             raise ValueError(f"baseline loss out of range: {baseline_loss}")
         self.sim = sim
+        self._trace = tracer
         self.latency = latency or ConstantLatency()
         self.attacks = attacks or AttackSchedule()
         self.baseline_loss = baseline_loss
@@ -195,6 +197,13 @@ class Network:
         for _ in range(loss_trials):
             if self.baseline_loss and self._loss_rng.random() < self.baseline_loss:
                 self.counters.dropped_baseline += 1
+                if self._trace is not None and message.trace_id is not None:
+                    self._trace.emit(
+                        message.trace_id,
+                        "drop_baseline",
+                        "net",
+                        detail=f"{src}->{dst}",
+                    )
                 return False
 
         one_way = self.latency.one_way(src, instance, self._latency_rng)
@@ -204,6 +213,13 @@ class Network:
         for _ in range(loss_trials):
             if attack_loss and self._loss_rng.random() < attack_loss:
                 self.counters.dropped_attack += 1
+                if self._trace is not None and message.trace_id is not None:
+                    self._trace.emit(
+                        message.trace_id,
+                        "drop_attack",
+                        "net",
+                        detail=f"{src}->{instance}",
+                    )
                 return False
         # Survivors of an attack with queueing modeled wait in the
         # target's full buffers (paper §5.1's future-work extension).
@@ -214,6 +230,10 @@ class Network:
         payload = message
         if self.wire_format:
             payload = from_wire(to_wire(message))
+            # The trace id is simulation metadata, not wire data; carry it
+            # across the codec round-trip so traced lifecycles survive
+            # wire-format runs.
+            payload.trace_id = message.trace_id
         packet = Packet(src, dst, payload, self.sim.now, transport)
         self.sim.call_later(delay, self._deliver, handler, packet)
         return True

@@ -1,0 +1,57 @@
+"""Observability: query-lifecycle tracing, metrics, and profiling.
+
+Three independent layers, all zero-cost when disabled:
+
+- :class:`Tracer` — per-query span events (``repro ddos H --trace out.jsonl``)
+- :class:`MetricsRegistry` — counters/gauges/histograms snapshotted per round
+- simulator profiling — see :meth:`repro.simcore.Simulator.enable_profiling`
+
+:class:`ObsSpec` selects layers per run and travels on runner requests.
+"""
+
+from repro.obs.config import Observability, ObsSpec
+from repro.obs.metrics import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.records import (
+    SPAN_KINDS,
+    TERMINAL_KINDS,
+    MetricsSnapshot,
+    SpanEvent,
+)
+from repro.obs.spanio import (
+    SpanFormatError,
+    export_metrics,
+    export_spans,
+    import_metrics,
+    import_spans,
+    summarize_spans,
+    validate_span_chains,
+)
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Observability",
+    "ObsSpec",
+    "SPAN_KINDS",
+    "SpanEvent",
+    "SpanFormatError",
+    "TERMINAL_KINDS",
+    "Tracer",
+    "export_metrics",
+    "export_spans",
+    "import_metrics",
+    "import_spans",
+    "summarize_spans",
+    "validate_span_chains",
+]

@@ -1,0 +1,188 @@
+"""Metrics registry: counters, gauges, histograms, and pull collectors.
+
+Components obtain instruments from a :class:`MetricsRegistry` at wiring
+time (get-or-create, keyed by name) and update them with plain attribute
+arithmetic — no locks, no string formatting, no dict lookups on the hot
+path. :meth:`MetricsRegistry.snapshot` flattens everything into a
+:class:`~repro.obs.records.MetricsSnapshot` of ``name -> number`` pairs;
+the testbed takes one snapshot per probing round plus a final one, so
+parallel/cached runner results carry the full telemetry series.
+
+Like the tracer, the registry is ``None`` when metrics are disabled and
+every component guards on that once at construction time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.obs.records import MetricsSnapshot
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count. Update via ``counter.value += n``."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A level that goes up and down; tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.max_value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+        if self.value > self.max_value:
+            self.max_value = self.value
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value} max={self.max_value}>"
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution (cumulative style, plus sum/count)."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        # One bucket per bound plus the +Inf overflow bucket.
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: Number) -> None:
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} sum={self.total:g}>"
+
+
+class CounterFamily:
+    """A set of counters sharing a name, distinguished by a label tuple.
+
+    Used where the label space is data-dependent, e.g. the stub outcome
+    counters labelled ``(status, round_index)``. Flattened into snapshot
+    keys as ``name.label1.label2``.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: Dict[Tuple, int] = {}
+
+    def inc(self, labels: Tuple, amount: Number = 1) -> None:
+        values = self.values
+        values[labels] = values.get(labels, 0) + amount
+
+    def __repr__(self) -> str:
+        return f"<CounterFamily {self.name} series={len(self.values)}>"
+
+
+class MetricsRegistry:
+    """Component-facing registry plus snapshot machinery."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._families: Dict[str, CounterFamily] = {}
+        self._collectors: List[Tuple[str, Callable[[], Union[Number, Dict]]]] = []
+        self.snapshots: List[MetricsSnapshot] = []
+
+    # -- instrument registration (get-or-create, so re-wiring is safe) --
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def family(self, name: str) -> CounterFamily:
+        instrument = self._families.get(name)
+        if instrument is None:
+            instrument = self._families[name] = CounterFamily(name)
+        return instrument
+
+    def register_collector(
+        self, name: str, collect: Callable[[], Union[Number, Dict]]
+    ) -> None:
+        """Register a pull-style source sampled at snapshot time.
+
+        ``collect`` returns either a number (stored under ``name``) or a
+        dict of suffix -> number (stored under ``name.suffix``). Used for
+        state that already lives on a component, e.g. the network counters
+        or per-server query-log sizes.
+        """
+        self._collectors.append((name, collect))
+
+    # -- snapshotting --
+    def snapshot(self, time: float, round_index: int) -> MetricsSnapshot:
+        """Flatten every instrument into a snapshot and append it."""
+        values: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            values[name] = counter.value
+        for name, gauge in self._gauges.items():
+            values[name] = gauge.value
+            values[name + ".max"] = gauge.max_value
+        for name, histogram in self._histograms.items():
+            values[name + ".count"] = histogram.count
+            values[name + ".sum"] = histogram.total
+            for bound, filled in zip(histogram.bounds, histogram.buckets):
+                values[f"{name}.le.{bound:g}"] = filled
+            values[name + ".le.inf"] = histogram.buckets[-1]
+        for name, fam in self._families.items():
+            for labels, count in fam.values.items():
+                key = ".".join([name, *(str(part) for part in labels)])
+                values[key] = count
+        for name, collect in self._collectors:
+            sample = collect()
+            if isinstance(sample, dict):
+                for suffix, number in sample.items():
+                    values[f"{name}.{suffix}"] = number
+            else:
+                values[name] = sample
+        snap = MetricsSnapshot(time, round_index, values)
+        self.snapshots.append(snap)
+        return snap

@@ -1,0 +1,191 @@
+"""JSONL import/export, schema validation, and summaries for span traces.
+
+The span JSONL schema (one object per line)::
+
+    {"trace_id": 17, "time": 1203.5, "kind": "issue", "site": "stub",
+     "vp": "p3:rec0", "detail": "", "run": "ddos:H"}
+
+``vp``/``detail``/``run`` are optional. ``kind`` must come from
+:data:`repro.obs.records.SPAN_KINDS`. Completeness (the acceptance
+criterion for traced runs): every trace id has exactly one ``issue`` span,
+it is the earliest span of the trace, and exactly one terminal outcome
+span from :data:`repro.obs.records.TERMINAL_KINDS` follows it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO
+
+from repro.obs.records import (
+    SPAN_ISSUE,
+    SPAN_KINDS,
+    TERMINAL_KINDS,
+    MetricsSnapshot,
+    SpanEvent,
+)
+
+
+class SpanFormatError(ValueError):
+    """Raised when a JSONL span trace fails schema or completeness checks."""
+
+
+def export_spans(
+    spans: Iterable[SpanEvent], stream: TextIO, run: Optional[str] = None
+) -> int:
+    """Write spans as JSONL; returns the number of rows written."""
+    count = 0
+    for span in spans:
+        row = span.as_dict()
+        if run is not None:
+            row["run"] = run
+        stream.write(json.dumps(row, separators=(",", ":")) + "\n")
+        count += 1
+    return count
+
+
+def import_spans(stream: TextIO) -> List[SpanEvent]:
+    """Read JSONL spans back, validating each row against the schema."""
+    spans: List[SpanEvent] = []
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SpanFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
+        spans.append(_span_from_row(row, lineno))
+    return spans
+
+
+def _span_from_row(row: Dict[str, Any], lineno: int) -> SpanEvent:
+    if not isinstance(row, dict):
+        raise SpanFormatError(f"line {lineno}: expected an object")
+    for field, kinds in (("trace_id", int), ("time", (int, float)), ("kind", str), ("site", str)):
+        if field not in row:
+            raise SpanFormatError(f"line {lineno}: missing field {field!r}")
+        if not isinstance(row[field], kinds) or isinstance(row[field], bool):
+            raise SpanFormatError(
+                f"line {lineno}: field {field!r} has wrong type "
+                f"{type(row[field]).__name__}"
+            )
+    if row["kind"] not in SPAN_KINDS:
+        raise SpanFormatError(f"line {lineno}: unknown span kind {row['kind']!r}")
+    return SpanEvent(
+        row["trace_id"],
+        float(row["time"]),
+        row["kind"],
+        row["site"],
+        vp=row.get("vp", ""),
+        detail=row.get("detail", ""),
+    )
+
+
+def validate_span_chains(spans: Sequence[SpanEvent]) -> Dict[int, List[SpanEvent]]:
+    """Check completeness of every trace; returns spans grouped by trace id.
+
+    Raises :class:`SpanFormatError` for orphan spans (no ``issue``),
+    missing terminals, duplicated issue/terminal spans, or spans timed
+    before their trace's issue.
+    """
+    chains: Dict[int, List[SpanEvent]] = {}
+    for span in spans:
+        chains.setdefault(span.trace_id, []).append(span)
+    for trace_id, chain in chains.items():
+        chain.sort(key=lambda span: span.time)
+        issues = [span for span in chain if span.kind == SPAN_ISSUE]
+        terminals = [span for span in chain if span.kind in TERMINAL_KINDS]
+        if not issues:
+            raise SpanFormatError(f"trace {trace_id}: orphan spans (no issue span)")
+        if len(issues) > 1:
+            raise SpanFormatError(f"trace {trace_id}: {len(issues)} issue spans")
+        if not terminals:
+            raise SpanFormatError(f"trace {trace_id}: no terminal outcome span")
+        if len(terminals) > 1:
+            raise SpanFormatError(
+                f"trace {trace_id}: {len(terminals)} terminal spans "
+                f"({[span.kind for span in terminals]})"
+            )
+        if chain[0].kind != SPAN_ISSUE:
+            raise SpanFormatError(
+                f"trace {trace_id}: span {chain[0].kind!r} precedes the issue span"
+            )
+    return chains
+
+
+def summarize_spans(spans: Sequence[SpanEvent], top_n: int = 10) -> str:
+    """Render the ``trace-summary`` report: slowest lifecycles + outcome table.
+
+    The latency of a lifecycle is terminal time minus issue time. Traces
+    whose terminal is ``no_answer`` may have trailing spans (recursives
+    keep retrying after the stub gives up); those retries still count
+    toward the trace's span total but not its latency.
+    """
+    chains = validate_span_chains(spans)
+    rows = []
+    outcome_stats: Dict[str, List[int]] = {}
+    for trace_id, chain in sorted(chains.items()):
+        issue = chain[0]
+        terminal = next(span for span in chain if span.kind in TERMINAL_KINDS)
+        latency = terminal.time - issue.time
+        rows.append((latency, trace_id, issue, terminal, len(chain)))
+        outcome_stats.setdefault(terminal.kind, []).append(len(chain))
+
+    lines = [f"traces: {len(rows)}   spans: {len(spans)}", ""]
+    lines.append(f"slowest {min(top_n, len(rows))} query lifecycles:")
+    lines.append(
+        f"{'latency':>10} {'trace':>7} {'vp':<14} {'outcome':<10} {'spans':>5}"
+    )
+    for latency, trace_id, issue, terminal, n_spans in sorted(
+        rows, key=lambda row: (-row[0], row[1])
+    )[:top_n]:
+        lines.append(
+            f"{latency:>9.3f}s {trace_id:>7} {issue.vp:<14} "
+            f"{terminal.kind:<10} {n_spans:>5}"
+        )
+    lines.append("")
+    lines.append("spans per lifecycle by outcome:")
+    lines.append(
+        f"{'outcome':<10} {'traces':>7} {'min':>5} {'mean':>7} {'max':>5}"
+    )
+    for outcome in sorted(outcome_stats):
+        counts = outcome_stats[outcome]
+        lines.append(
+            f"{outcome:<10} {len(counts):>7} {min(counts):>5} "
+            f"{sum(counts) / len(counts):>7.1f} {max(counts):>5}"
+        )
+    return "\n".join(lines)
+
+
+def export_metrics(
+    snapshots: Iterable[MetricsSnapshot], stream: TextIO, run: Optional[str] = None
+) -> int:
+    """Write metric snapshots as JSONL; returns the number of rows."""
+    count = 0
+    for snap in snapshots:
+        row = snap.as_dict()
+        if run is not None:
+            row["run"] = run
+        stream.write(json.dumps(row, separators=(",", ":"), sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def import_metrics(stream: TextIO) -> List[MetricsSnapshot]:
+    """Read metric snapshots back from JSONL."""
+    snapshots: List[MetricsSnapshot] = []
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SpanFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
+        if "time" not in row or "round_index" not in row or "values" not in row:
+            raise SpanFormatError(f"line {lineno}: not a metrics snapshot row")
+        snapshots.append(
+            MetricsSnapshot(float(row["time"]), int(row["round_index"]), row["values"])
+        )
+    return snapshots

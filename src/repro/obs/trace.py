@@ -1,0 +1,44 @@
+"""Query-lifecycle tracer.
+
+A :class:`Tracer` is the single sink for span events in a traced run.
+Components hold either a ``Tracer`` or ``None`` — resolved once at wiring
+time — and guard every emission site with ``if tracer is not None``, so
+untraced runs pay nothing beyond the attribute load (the zero-cost
+contract; see DESIGN.md §8).
+
+Trace ids are small integers handed out by :meth:`Tracer.new_trace` when a
+stub issues a query. The id rides on :attr:`repro.dnscore.message.Message.
+trace_id` through every hop, including the wire-format round-trip in
+:class:`repro.netem.transport.Network`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.records import SpanEvent
+
+
+class Tracer:
+    """Collects :class:`SpanEvent` rows stamped with simulator time."""
+
+    __slots__ = ("sim", "events", "_next_id")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.events: List[SpanEvent] = []
+        self._next_id = 0
+
+    def new_trace(self) -> int:
+        """Allocate a fresh trace id for a stub query."""
+        trace_id = self._next_id
+        self._next_id = trace_id + 1
+        return trace_id
+
+    def emit(
+        self, trace_id: int, kind: str, site: str, vp: str = "", detail: str = ""
+    ) -> None:
+        """Record one span, stamped with the current simulated time."""
+        self.events.append(
+            SpanEvent(trace_id, self.sim.now, kind, site, vp=vp, detail=detail)
+        )

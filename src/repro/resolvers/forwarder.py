@@ -62,6 +62,8 @@ class ForwardingResolver(Host):
         upstreams: Sequence[str],
         config: Optional[ForwarderConfig] = None,
         name: str = "",
+        tracer=None,
+        metrics=None,
     ) -> None:
         super().__init__(sim, network, address, name=name)
         if not upstreams:
@@ -73,6 +75,16 @@ class ForwardingResolver(Host):
         self.client_queries = 0
         self.upstream_queries = 0
         self.upstream_timeouts = 0
+        self._trace = tracer
+        self._metrics = metrics
+        if metrics is not None:
+            # Shared across all forwarders (get-or-create by name): the
+            # registry aggregates the R1 layer, per-instance counts stay
+            # on the host attributes above.
+            self._m_client = metrics.counter("forwarder.client_queries")
+            self._m_upstream = metrics.counter("forwarder.upstream_queries")
+            self._m_timeouts = metrics.counter("forwarder.timeouts")
+            self._m_cache_hits = metrics.counter("forwarder.cache_hits")
 
     # ------------------------------------------------------------------
     def on_packet(self, packet: Packet) -> None:
@@ -86,6 +98,8 @@ class ForwardingResolver(Host):
         if message.question is None:
             return
         self.client_queries += 1
+        if self._metrics is not None:
+            self._m_client.value += 1
         if self.cache is not None:
             cached = self.cache.get(
                 message.question.qname,
@@ -94,9 +108,14 @@ class ForwardingResolver(Host):
                 require_authoritative=True,
             )
             if cached is not None:
+                if self._trace is not None and message.trace_id is not None:
+                    self._trace.emit(message.trace_id, "cache_hit", self.name)
+                if self._metrics is not None:
+                    self._m_cache_hits.value += 1
                 response = make_response(
                     message, ra=True, answers=list(cached)
                 )
+                response.trace_id = message.trace_id
                 self.send(packet.src, response)
                 return
         state = _Forwarded(packet.src, message)
@@ -121,12 +140,27 @@ class ForwardingResolver(Host):
             rd=True,
         )
         timeout = policy.timeout_for_attempt(state.attempt)
+        trace_id = state.client_message.trace_id
+        if self._trace is not None and trace_id is not None:
+            outgoing.trace_id = trace_id
+            self._trace.emit(
+                trace_id,
+                "forward" if state.attempt == 0 else "retry",
+                self.name,
+                detail=f"upstream={upstream} attempt={state.attempt}",
+            )
         state.attempt += 1
         self._pending[outgoing.msg_id] = state
         state.timer = self.sim.call_later(
             timeout, self._on_timeout, outgoing.msg_id
         )
+        if self._trace is not None and trace_id is not None:
+            # A timer abandoned by a late response emits a `cancelled`
+            # terminator via Event.cancel() instead of leaking open.
+            state.timer.span = (self._trace, trace_id, self.name)
         self.upstream_queries += 1
+        if self._metrics is not None:
+            self._m_upstream.value += 1
         self.send(upstream, outgoing)
 
     def _on_timeout(self, msg_id: int) -> None:
@@ -134,6 +168,11 @@ class ForwardingResolver(Host):
         if state is None or state.done:
             return
         self.upstream_timeouts += 1
+        if self._metrics is not None:
+            self._m_timeouts.value += 1
+        trace_id = state.client_message.trace_id
+        if self._trace is not None and trace_id is not None:
+            self._trace.emit(trace_id, "timeout", self.name)
         self._forward(state)
 
     def _on_upstream_response(self, packet: Packet) -> None:
@@ -168,6 +207,7 @@ class ForwardingResolver(Host):
 
     def _finish(self, state: _Forwarded, response: Message) -> None:
         state.done = True
+        response.trace_id = state.client_message.trace_id
         self.send(state.client, response)
 
     def flush_caches(self) -> None:

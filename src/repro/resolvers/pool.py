@@ -51,6 +51,8 @@ class PublicResolverPool(Host):
         name: str = "",
         rng: Optional[random.Random] = None,
         backend_config_factory=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         super().__init__(sim, network, address, name=name)
         self.config = config or PoolConfig()
@@ -70,12 +72,18 @@ class PublicResolverPool(Host):
                 config=backend_config,
                 name=f"{name or address}-be{index}",
                 rng=random.Random(self._rng.getrandbits(64)),
+                tracer=tracer,
+                metrics=metrics,
             )
             self.backends.append(backend)
         if not self.backends:
             raise ValueError("a pool needs at least one backend")
         self._sticky: Dict[str, int] = {}
         self.client_queries = 0
+        self._trace = tracer
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_client = metrics.counter("pool.client_queries")
 
     # ------------------------------------------------------------------
     def _pick_backend(self, client: str) -> RecursiveResolver:
@@ -95,8 +103,17 @@ class PublicResolverPool(Host):
         if message.is_response or message.question is None:
             return
         self.client_queries += 1
+        if self._metrics is not None:
+            self._m_client.value += 1
         client = packet.src
         backend = self._pick_backend(client)
+        if self._trace is not None and message.trace_id is not None:
+            self._trace.emit(
+                message.trace_id,
+                "pool_dispatch",
+                self.name,
+                detail=f"backend={backend.name}",
+            )
 
         def deliver(outcome: Outcome) -> None:
             response = make_response(
@@ -105,6 +122,7 @@ class PublicResolverPool(Host):
                 ra=True,
                 answers=outcome.records,
             )
+            response.trace_id = message.trace_id
             # The answer returns from the anycast ingress address.
             self.send(client, response)
 
@@ -112,7 +130,12 @@ class PublicResolverPool(Host):
             # The backend serves this client query (handed over by the
             # load balancer), so account it there too.
             backend.client_queries += 1
-            backend.resolve(message.question.qname, message.question.qtype, deliver)
+            backend.resolve(
+                message.question.qname,
+                message.question.qtype,
+                deliver,
+                trace_id=message.trace_id,
+            )
 
         self.sim.call_later(self.config.internal_delay, start)
 

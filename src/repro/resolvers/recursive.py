@@ -143,6 +143,8 @@ class RecursiveResolver(Host):
         config: Optional[ResolverConfig] = None,
         name: str = "",
         rng=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         super().__init__(sim, network, address, name=name)
         if not root_hints:
@@ -171,6 +173,23 @@ class RecursiveResolver(Host):
         self.upstream_responses = 0
         self.prefetches = 0
         self.tcp_fallbacks = 0
+        # Observability sinks, resolved once at wiring time (None = off).
+        # Instruments are shared across the Rn layer: the registry
+        # get-or-creates by name, so every resolver updates the same
+        # aggregate counters while per-instance stats stay above.
+        self._trace = tracer
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_client = metrics.counter("recursive.client_queries")
+            self._m_cache_hits = metrics.counter("recursive.cache_hits")
+            self._m_cache_misses = metrics.counter("recursive.cache_misses")
+            self._m_negcache_hits = metrics.counter("recursive.negcache_hits")
+            self._m_upstream = metrics.counter("recursive.upstream_queries")
+            self._m_timeouts = metrics.counter("recursive.upstream_timeouts")
+            self._m_inflight = metrics.gauge("recursive.inflight_tasks")
+            self._m_sends = metrics.histogram(
+                "recursive.sends_per_resolution", (1, 2, 4, 8, 16, 32)
+            )
 
     # ------------------------------------------------------------------
     # Network entry points
@@ -186,6 +205,8 @@ class RecursiveResolver(Host):
         if message.question is None:
             return
         self.client_queries += 1
+        if self._metrics is not None:
+            self._m_client.value += 1
         client = packet.src
 
         def deliver(outcome: Outcome) -> None:
@@ -195,10 +216,16 @@ class RecursiveResolver(Host):
                 ra=True,
                 answers=outcome.records,
             )
+            response.trace_id = message.trace_id
             self.client_responses += 1
             self.send(client, response)
 
-        self.resolve(message.question.qname, message.question.qtype, deliver)
+        self.resolve(
+            message.question.qname,
+            message.question.qtype,
+            deliver,
+            trace_id=message.trace_id,
+        )
 
     def _on_upstream_response(self, packet: Packet) -> None:
         pending = self._pending.pop(packet.message.msg_id, None)
@@ -229,6 +256,7 @@ class RecursiveResolver(Host):
         callback: OutcomeCallback,
         depth: int = 0,
         require_authoritative: Optional[bool] = None,
+        trace_id: Optional[int] = None,
     ) -> None:
         """Resolve (qname, qtype); ``callback`` fires exactly once.
 
@@ -240,6 +268,12 @@ class RecursiveResolver(Host):
         requiring answer credibility unless the resolver is configured to
         serve glue; internal iteration helpers (depth > 0) accept glue;
         delegation re-validation passes True explicitly.
+
+        ``trace_id`` joins the resolution to a traced stub lifecycle. A
+        task carries the trace of the query that started it; queries that
+        coalesce onto an existing task emit one ``coalesced`` span and
+        then share the task's fate (their own chain still terminates at
+        the stub).
         """
         if require_authoritative is None:
             require_authoritative = (
@@ -248,18 +282,28 @@ class RecursiveResolver(Host):
         failed_until = self._servfail_cache.get((qname, qtype))
         if failed_until is not None:
             if self.sim.now < failed_until:
+                if self._trace is not None and trace_id is not None:
+                    self._trace.emit(trace_id, "servfail_cached", self.name)
                 callback(Outcome(Outcome.SERVFAIL, from_cache=True))
                 return
             del self._servfail_cache[(qname, qtype)]
         key = (qname, qtype, require_authoritative)
         task = self._tasks.get(key)
         if task is not None and not task.done:
+            if self._trace is not None and trace_id is not None:
+                self._trace.emit(
+                    trace_id,
+                    "coalesced",
+                    self.name,
+                    detail=f"{qname} {qtype.name}",
+                )
             task.add_callback(callback)
             return
         task = _ResolutionTask(
             self, qname, qtype, depth, require_authoritative
         )
         task.registry_key = key
+        task.trace_id = trace_id
         self._tasks[key] = task
         task.add_callback(callback)
         task.start()
@@ -299,9 +343,32 @@ class RecursiveResolver(Host):
             edns_payload=self.config.edns_payload,
         )
         timer = self.sim.call_later(timeout, self._on_upstream_timeout, message.msg_id)
+        trace_id = task.trace_id
+        if self._trace is not None and trace_id is not None:
+            message.trace_id = trace_id
+            # Timers abandoned on response emit `cancelled` terminators
+            # via Event.cancel() instead of leaking open retry spans.
+            timer.span = (self._trace, trace_id, self.name)
+            kind = (
+                "retry"
+                if task.round_active and task.round_attempt > 1
+                else "send"
+            )
+            self._trace.emit(
+                trace_id,
+                kind,
+                self.name,
+                detail=(
+                    f"server={server} {task.qname} {task.qtype.name}"
+                    + (f" {transport}" if transport != "udp" else "")
+                ),
+            )
+        task.sends += 1
         self._pending[message.msg_id] = _PendingQuery(task, server, timer, self.sim.now)
         task.pending_ids.add(message.msg_id)
         self.upstream_queries += 1
+        if self._metrics is not None:
+            self._m_upstream.value += 1
         self.send(server, message, transport)
 
     def _on_upstream_timeout(self, msg_id: int) -> None:
@@ -309,9 +376,19 @@ class RecursiveResolver(Host):
         if pending is None:
             return
         self.upstream_timeouts += 1
+        if self._metrics is not None:
+            self._m_timeouts.value += 1
         self.selector.observe_timeout(pending.server)
         if not pending.task.done:
-            pending.task.handle_timeout()
+            task = pending.task
+            if self._trace is not None and task.trace_id is not None:
+                self._trace.emit(
+                    task.trace_id,
+                    "timeout",
+                    self.name,
+                    detail=f"server={pending.server}",
+                )
+            task.handle_timeout()
 
     def cancel_task_queries(self, task: "_ResolutionTask") -> None:
         for msg_id in task.pending_ids:
@@ -412,6 +489,12 @@ class _ResolutionTask:
         self.registry_key: tuple = (qname, qtype, require_authoritative)
         self.callbacks: List[OutcomeCallback] = []
         self.done = False
+        # Observability: the owning trace (None untraced), total upstream
+        # sends for the sends-per-resolution histogram, and a first-pass
+        # flag so cache hit/miss counts once per task, not per iteration.
+        self.trace_id: Optional[int] = None
+        self.sends = 0
+        self.first_step = True
         self.started_at = resolver.sim.now
         policy = resolver.config.retry
         self.deadline = self.started_at + policy.resolution_deadline
@@ -438,6 +521,8 @@ class _ResolutionTask:
         self.callbacks.append(callback)
 
     def start(self) -> None:
+        if self.r._metrics is not None:
+            self.r._m_inflight.inc()
         # RFC 8767 client-response timer: when stale data is on hand, an
         # unresponsive resolution answers stale quickly rather than making
         # the client wait out the full retry schedule.
@@ -467,6 +552,8 @@ class _ResolutionTask:
             return
         stale = self.r.cache.get_stale(self.qname, self.qtype, self.r.sim.now)
         if stale is not None:
+            if self.r._trace is not None and self.trace_id is not None:
+                self.r._trace.emit(self.trace_id, "stale", self.r.name)
             self._finish(Outcome(Outcome.OK, list(stale), stale=True))
 
     # ------------------------------------------------------------------
@@ -480,6 +567,8 @@ class _ResolutionTask:
             self._give_up()
             return
 
+        first_step = self.first_step
+        self.first_step = False
         if not self.skip_cache:
             rrset = self.r.cache.get(
                 self.qname,
@@ -488,9 +577,17 @@ class _ResolutionTask:
                 require_authoritative=self.require_authoritative,
             )
             if rrset is not None:
+                if self.r._trace is not None and self.trace_id is not None:
+                    self.r._trace.emit(self.trace_id, "cache_hit", self.r.name)
+                if first_step and self.r._metrics is not None:
+                    self.r._m_cache_hits.value += 1
                 self._maybe_prefetch(now)
                 self._finish(Outcome(Outcome.OK, list(rrset), from_cache=True))
                 return
+            if first_step and self.r._metrics is not None:
+                self.r._m_cache_misses.value += 1
+            if first_step and self.r._trace is not None and self.trace_id is not None:
+                self.r._trace.emit(self.trace_id, "cache_miss", self.r.name)
 
             negative = self.r.negcache.get(self.qname, self.qtype, now)
             if negative is not None:
@@ -499,12 +596,20 @@ class _ResolutionTask:
                     if negative == Rcode.NXDOMAIN
                     else Outcome.NODATA
                 )
+                if self.r._trace is not None and self.trace_id is not None:
+                    self.r._trace.emit(
+                        self.trace_id, "negcache_hit", self.r.name
+                    )
+                if self.r._metrics is not None:
+                    self.r._m_negcache_hits.value += 1
                 self._finish(Outcome(status, from_cache=True))
                 return
 
         if self.qtype != RRType.CNAME:
             cname = self.r.cache.get(self.qname, RRType.CNAME, now)
             if cname is not None:
+                if self.r._trace is not None and self.trace_id is not None:
+                    self.r._trace.emit(self.trace_id, "cname", self.r.name)
                 self._follow_cname(cname, [])
                 return
 
@@ -663,6 +768,10 @@ class _ResolutionTask:
             self._attempt()
             return
 
+        if self.r._trace is not None and self.trace_id is not None:
+            self.r._trace.emit(
+                self.trace_id, "referral", self.r.name, detail=f"cut={cut}"
+            )
         self.r.cache.put(RRset(ns_records), now, authoritative=False)
         by_key: Dict[Tuple[Name, RRType], List[ResourceRecord]] = {}
         for record in message.additional:
@@ -703,7 +812,13 @@ class _ResolutionTask:
         self.sub_failures = 0
         for target in fresh_targets:
             self.sub_targets_tried.add(target)
-            self.r.resolve(target, RRType.A, self._on_subresolution, self.depth + 1)
+            self.r.resolve(
+                target,
+                RRType.A,
+                self._on_subresolution,
+                self.depth + 1,
+                trace_id=self.trace_id,
+            )
 
     def _on_subresolution(self, outcome: Outcome) -> None:
         if self.done:
@@ -759,8 +874,17 @@ class _ResolutionTask:
         if self.r.config.serve_stale:
             stale = self.r.cache.get_stale(self.qname, self.qtype, self.r.sim.now)
             if stale is not None:
+                if self.r._trace is not None and self.trace_id is not None:
+                    self.r._trace.emit(self.trace_id, "stale", self.r.name)
                 self._finish(Outcome(Outcome.OK, list(stale), stale=True))
                 return
+        if self.r._trace is not None and self.trace_id is not None:
+            self.r._trace.emit(
+                self.trace_id,
+                "give_up",
+                self.r.name,
+                detail=f"sends={self.sends}",
+            )
         self.r.remember_servfail(self.qname, self.qtype)
         self._finish(Outcome(Outcome.SERVFAIL))
 
@@ -769,6 +893,9 @@ class _ResolutionTask:
         if self.done:
             return
         self.done = True
+        if self.r._metrics is not None:
+            self.r._m_inflight.dec()
+            self.r._m_sends.observe(self.sends)
         self.r.task_finished(self)
         callbacks, self.callbacks = self.callbacks, []
         for callback in callbacks:

@@ -37,6 +37,7 @@ class StubAnswer:
         "serial",
         "encoded_ttl",
         "record_count",
+        "trace_id",
     )
 
     OK = "ok"
@@ -63,6 +64,7 @@ class StubAnswer:
         self.serial: Optional[int] = None
         self.encoded_ttl: Optional[int] = None
         self.record_count = 0
+        self.trace_id: Optional[int] = None
 
     @property
     def latency(self) -> Optional[float]:
@@ -94,6 +96,8 @@ class StubResolver(Host):
         results: Optional[List[StubAnswer]] = None,
         timeout: float = ATLAS_TIMEOUT,
         name: str = "",
+        tracer=None,
+        metrics=None,
     ) -> None:
         super().__init__(sim, network, address, name=name or f"probe{probe_id}")
         if not recursives:
@@ -103,6 +107,14 @@ class StubResolver(Host):
         self.timeout = timeout
         self.results = results if results is not None else []
         self._pending: Dict[int, StubAnswer] = {}
+        self._trace = tracer
+        # Metrics instruments are resolved once here; per-query updates are
+        # plain attribute arithmetic (zero-cost contract: self._metrics is
+        # None in unmetered runs and each update site guards on that).
+        self._metrics = metrics
+        if metrics is not None:
+            self._queries_counter = metrics.counter("stub.queries")
+            self._outcome_family = metrics.family("stub.outcome")
 
     # ------------------------------------------------------------------
     def query_round(self, qname: Name, qtype: RRType, round_index: int) -> None:
@@ -116,17 +128,56 @@ class StubResolver(Host):
         """Send one query to one recursive and track its outcome."""
         message = make_query(qname, qtype, rd=True)
         answer = StubAnswer(self.probe_id, resolver, round_index, self.sim.now)
+        if self._trace is not None:
+            trace_id = self._trace.new_trace()
+            message.trace_id = trace_id
+            answer.trace_id = trace_id
+            self._trace.emit(
+                trace_id,
+                "issue",
+                self.name,
+                vp=f"p{self.probe_id}:{resolver}",
+                detail=f"{qname} {qtype.name} round={round_index}",
+            )
+        if self._metrics is not None:
+            self._queries_counter.value += 1
         self.results.append(answer)
         self._pending[message.msg_id] = answer
         self.sim.call_later(self.timeout, self._on_timeout, message.msg_id)
         self.send(resolver, message)
         return answer
 
+    # Span terminators and metric labels per StubAnswer status. The label
+    # keys match responses_by_round()'s buckets exactly so per-round
+    # snapshots reconcile with the client-outcome series.
+    _TERMINALS = {
+        StubAnswer.OK: ("answer", "ok"),
+        StubAnswer.SERVFAIL: ("servfail", "servfail"),
+        StubAnswer.NXDOMAIN: ("nxdomain", "error"),
+        StubAnswer.NODATA: ("nodata", "error"),
+        StubAnswer.NO_ANSWER: ("no_answer", "no_answer"),
+    }
+
+    def _record_outcome(self, answer: StubAnswer) -> None:
+        """Emit the terminal span and outcome metric for a settled query."""
+        kind, outcome = self._TERMINALS[answer.status]
+        if self._trace is not None and answer.trace_id is not None:
+            self._trace.emit(
+                answer.trace_id,
+                kind,
+                self.name,
+                vp=f"p{answer.probe_id}:{answer.resolver}",
+            )
+        if self._metrics is not None:
+            self._outcome_family.inc((outcome, answer.round_index))
+
     def _on_timeout(self, msg_id: int) -> None:
         answer = self._pending.pop(msg_id, None)
         if answer is None:
             return
         answer.status = StubAnswer.NO_ANSWER
+        if self._trace is not None or self._metrics is not None:
+            self._record_outcome(answer)
 
     def on_packet(self, packet: Packet) -> None:
         message = packet.message
@@ -139,21 +190,21 @@ class StubResolver(Host):
         answer.rcode = message.rcode
         if message.rcode == Rcode.SERVFAIL or message.rcode == Rcode.REFUSED:
             answer.status = StubAnswer.SERVFAIL
-            return
-        if message.rcode == Rcode.NXDOMAIN:
+        elif message.rcode == Rcode.NXDOMAIN:
             answer.status = StubAnswer.NXDOMAIN
-            return
-        if not message.answers:
+        elif not message.answers:
             answer.status = StubAnswer.NODATA
-            return
-        answer.status = StubAnswer.OK
-        answer.record_count = len(message.answers)
-        rrset = message.answer_rrset()
-        records = list(rrset) if rrset is not None else message.answers
-        answer.returned_ttl = min(record.ttl for record in records)
-        for record in records:
-            if isinstance(record.rdata, AAAA):
-                serial, _probe, encoded_ttl = record.rdata.fields()
-                answer.serial = serial
-                answer.encoded_ttl = encoded_ttl
-                break
+        else:
+            answer.status = StubAnswer.OK
+            answer.record_count = len(message.answers)
+            rrset = message.answer_rrset()
+            records = list(rrset) if rrset is not None else message.answers
+            answer.returned_ttl = min(record.ttl for record in records)
+            for record in records:
+                if isinstance(record.rdata, AAAA):
+                    serial, _probe, encoded_ttl = record.rdata.fields()
+                    answer.serial = serial
+                    answer.encoded_ttl = encoded_ttl
+                    break
+        if self._trace is not None or self._metrics is not None:
+            self._record_outcome(answer)

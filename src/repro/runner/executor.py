@@ -22,6 +22,7 @@ from repro.core.experiments.baseline import (
     run_baseline,
 )
 from repro.core.experiments.ddos import DDoSSpec, run_ddos
+from repro.obs import ObsSpec
 from repro.runner.cache import DiskCache, cache_key
 from repro.runner.results import detach_result
 
@@ -52,6 +53,10 @@ class RunRequest:
     # Runner-specific keyword arguments as a sorted tuple of pairs, so
     # requests stay hashable and canonically serializable for cache keys.
     options: Tuple[Tuple[str, Any], ...] = ()
+    # Observability layers for this run (frozen, so hashable/cacheable).
+    # Part of the cache key: a traced run and an untraced run of the same
+    # spec are different artifacts.
+    obs: Optional[ObsSpec] = None
 
     def option_kwargs(self) -> dict:
         return dict(self.options)
@@ -63,9 +68,10 @@ def ddos_request(
     seed: int = 42,
     population: Optional[PopulationConfig] = None,
     wire_format: bool = False,
+    obs: Optional[ObsSpec] = None,
 ) -> RunRequest:
     return RunRequest(
-        KIND_DDOS, spec, probe_count, seed, wire_format, population
+        KIND_DDOS, spec, probe_count, seed, wire_format, population, obs=obs
     )
 
 
@@ -75,9 +81,16 @@ def baseline_request(
     seed: int = 42,
     population: Optional[PopulationConfig] = None,
     wire_format: bool = False,
+    obs: Optional[ObsSpec] = None,
 ) -> RunRequest:
     return RunRequest(
-        KIND_BASELINE, spec, probe_count, seed, wire_format, population
+        KIND_BASELINE,
+        spec,
+        probe_count,
+        seed,
+        wire_format,
+        population,
+        obs=obs,
     )
 
 
@@ -128,6 +141,7 @@ def execute_request(request: RunRequest):
             seed=request.seed,
             population=request.population,
             wire_format=request.wire_format,
+            obs=request.obs,
         )
     elif kind == KIND_BASELINE:
         result = run_baseline(
@@ -136,6 +150,7 @@ def execute_request(request: RunRequest):
             seed=request.seed,
             population=request.population,
             wire_format=request.wire_format,
+            obs=request.obs,
         )
     elif kind == KIND_GLUE:
         from repro.core.experiments.glue import run_glue_experiment

@@ -12,8 +12,8 @@ captures those and stands in for the testbed on detached results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
 
 from repro.core.experiments.ddos import DDoSResult
 from repro.dnscore.name import Name
@@ -27,7 +27,10 @@ class TestbedSnapshot:
     Duck-types the testbed for every consumer of a finished
     :class:`DDoSResult`: the offered-load query log (Figures 10–12,
     trace export) plus the zone origin and NS names used to classify
-    queries.
+    queries, and — when the run enabled observability — the emitted
+    spans, per-round metric snapshots, and kernel profile. Span and
+    snapshot records use ``__slots__`` and pickle natively, so telemetry
+    survives both the worker boundary and the disk cache.
     """
 
     # Not a pytest test class, despite the name.
@@ -36,6 +39,9 @@ class TestbedSnapshot:
     origin: Name
     test_ns_names: List[Name]
     offered_query_log: QueryLog
+    spans: List = field(default_factory=list, repr=False)
+    metric_snapshots: List = field(default_factory=list, repr=False)
+    profile: Optional[dict] = field(default=None, repr=False)
 
     @classmethod
     def from_testbed(cls, testbed) -> "TestbedSnapshot":
@@ -43,7 +49,15 @@ class TestbedSnapshot:
             origin=testbed.origin,
             test_ns_names=list(testbed.test_ns_names),
             offered_query_log=testbed.offered_query_log,
+            spans=list(testbed.spans),
+            metric_snapshots=list(testbed.metric_snapshots),
+            profile=testbed.profile_summary(),
         )
+
+    # Match the live testbed's accessor so consumers need not care which
+    # shape they hold.
+    def profile_summary(self) -> Optional[dict]:
+        return self.profile
 
 
 def detach_result(result):

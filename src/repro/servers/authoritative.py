@@ -35,8 +35,10 @@ class AuthoritativeServer(Host):
         processing_delay: float = 0.0005,
         enabled: bool = True,
         udp_payload_limit: int = 512,
+        tracer=None,
     ) -> None:
         super().__init__(sim, network, address, name=name)
+        self._trace = tracer
         self.zones: List[Zone] = list(zones)
         self.query_log = query_log
         self.processing_delay = processing_delay
@@ -81,6 +83,13 @@ class AuthoritativeServer(Host):
 
         self.queries_received += 1
         question = message.question
+        if self._trace is not None and message.trace_id is not None:
+            self._trace.emit(
+                message.trace_id,
+                "auth_query",
+                self.name,
+                detail=f"{question.qname} {question.qtype.name}",
+            )
         if self.query_log is not None:
             self.query_log.record(
                 self.sim.now, packet.src, question.qname, question.qtype, self.name
@@ -93,6 +102,7 @@ class AuthoritativeServer(Host):
         zone = self.zone_for(question.qname)
         if zone is None:
             response = make_response(message, rcode=Rcode.REFUSED)
+            response.trace_id = message.trace_id
             self._respond(packet.src, response, packet.transport)
             return
 
@@ -117,6 +127,7 @@ class AuthoritativeServer(Host):
         response = self._truncate_if_needed(
             response, packet.transport, message.edns_payload
         )
+        response.trace_id = message.trace_id
         self._respond(packet.src, response, packet.transport)
 
     def _truncate_if_needed(

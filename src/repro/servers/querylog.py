@@ -79,6 +79,13 @@ class QueryLog:
             seen.setdefault(round_index, set()).add(entry.src)
         return {index: len(sources) for index, sources in seen.items()}
 
+    def per_server_counts(self) -> Dict[str, int]:
+        """Queries per receiving server (offered-load collector)."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.server] = counts.get(entry.server, 0) + 1
+        return counts
+
     def per_source_counts(
         self,
         predicate: Optional[Callable[[QueryLogEntry], bool]] = None,

@@ -15,7 +15,7 @@ scheduled callbacks or generator processes on top of it.
 from repro.simcore.events import Event, EventQueue
 from repro.simcore.process import AnyOf, Process, Signal, Timeout
 from repro.simcore.rng import RandomStreams
-from repro.simcore.simulator import Simulator
+from repro.simcore.simulator import SimProfile, Simulator
 
 __all__ = [
     "AnyOf",
@@ -24,6 +24,7 @@ __all__ = [
     "Process",
     "RandomStreams",
     "Signal",
+    "SimProfile",
     "Simulator",
     "Timeout",
 ]

@@ -26,7 +26,7 @@ class Event:
     only ever needs :meth:`cancel` and the read-only attributes.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "span", "_queue")
 
     def __init__(
         self,
@@ -41,6 +41,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.span = None  # optional (tracer, trace_id, site) set by traced timers
         self._queue = queue
 
     def cancel(self) -> None:
@@ -50,6 +51,12 @@ class Event:
         stays in the heap until popped (lazy deletion), and in long
         retry-heavy runs the pending closures would otherwise pin resolver
         state long after the timers were abandoned.
+
+        When a traced timer is cancelled before firing, its span context
+        (attached by the scheduling component) emits a ``cancelled``
+        terminator so the trace does not leak an open retry/timeout span.
+        Cancel-after-fire must stay silent, so the emission only happens
+        while the event is still queued.
         """
         if not self.cancelled:
             self.cancelled = True
@@ -58,6 +65,11 @@ class Event:
             if self._queue is not None:
                 self._queue._live -= 1
                 self._queue = None
+                span = self.span
+                if span is not None:
+                    self.span = None
+                    tracer, trace_id, site = span
+                    tracer.emit(trace_id, "cancelled", site)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)

@@ -2,13 +2,58 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+import time as _walltime
+from typing import Any, Callable, Dict, Optional
 
 from repro.simcore.events import Event, EventQueue
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g., scheduling in the past)."""
+
+
+class SimProfile:
+    """Wall-clock profile of a simulator run, gathered by the profiled loop.
+
+    ``sites`` maps a callback site (its ``__qualname__``) to
+    ``[calls, wall_seconds]``. The profile accumulates across every
+    :meth:`Simulator.run` call after :meth:`Simulator.enable_profiling`.
+    """
+
+    __slots__ = ("wall_seconds", "sim_seconds", "events", "max_heap", "sites")
+
+    def __init__(self) -> None:
+        self.wall_seconds = 0.0
+        self.sim_seconds = 0.0
+        self.events = 0
+        self.max_heap = 0
+        self.sites: Dict[str, list] = {}
+
+    def summary(self) -> dict:
+        """Plain-data summary, picklable and JSON-friendly."""
+        wall = self.wall_seconds
+        return {
+            "wall_seconds": wall,
+            "sim_seconds": self.sim_seconds,
+            "events": self.events,
+            "max_heap": self.max_heap,
+            "events_per_second": self.events / wall if wall > 0 else 0.0,
+            "wall_per_sim_second": (
+                wall / self.sim_seconds if self.sim_seconds > 0 else 0.0
+            ),
+            "sites": {
+                name: {"calls": calls, "wall_seconds": site_wall}
+                for name, (calls, site_wall) in sorted(
+                    self.sites.items(), key=lambda item: -item[1][1]
+                )
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimProfile events={self.events} wall={self.wall_seconds:.3f}s "
+            f"sim={self.sim_seconds:.1f}s max_heap={self.max_heap}>"
+        )
 
 
 class Simulator:
@@ -33,6 +78,16 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        # Profiling sink, ``None`` unless enable_profiling() was called.
+        # run() checks it exactly once per invocation, so the disabled hot
+        # loop is byte-for-byte the PR 1 kernel.
+        self.profile: Optional[SimProfile] = None
+
+    def enable_profiling(self) -> SimProfile:
+        """Switch :meth:`run` to the instrumented loop; returns the profile."""
+        if self.profile is None:
+            self.profile = SimProfile()
+        return self.profile
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -68,6 +123,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
+        if self.profile is not None:
+            return self._run_profiled(until)
         self._running = True
         self._stopped = False
         pop_due = self._queue.pop_due
@@ -83,6 +140,55 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+
+    def _run_profiled(self, until: Optional[float] = None) -> None:
+        """The instrumented twin of :meth:`run`.
+
+        Kept separate so the unprofiled loop carries zero instrumentation;
+        this one pays two ``perf_counter`` reads per event to attribute
+        wall time to callback sites (by ``__qualname__``) and to track
+        heap depth.
+        """
+        profile = self.profile
+        assert profile is not None
+        self._running = True
+        self._stopped = False
+        pop_due = self._queue.pop_due
+        heap = self._queue._heap
+        perf = _walltime.perf_counter
+        sites = profile.sites
+        start_now = self.now
+        loop_start = perf()
+        try:
+            while not self._stopped:
+                heap_depth = len(heap)
+                if heap_depth > profile.max_heap:
+                    profile.max_heap = heap_depth
+                event = pop_due(until)
+                if event is None:
+                    break
+                self.now = event.time
+                self.events_processed += 1
+                profile.events += 1
+                callback = event.callback
+                site = getattr(callback, "__qualname__", None) or type(
+                    callback
+                ).__name__
+                before = perf()
+                callback(*event.args)
+                elapsed = perf() - before
+                entry = sites.get(site)
+                if entry is None:
+                    sites[site] = [1, elapsed]
+                else:
+                    entry[0] += 1
+                    entry[1] += elapsed
+            if until is not None and until > self.now and not self._stopped:
+                self.now = until
+        finally:
+            self._running = False
+            profile.wall_seconds += perf() - loop_start
+            profile.sim_seconds += self.now - start_now
 
     def step(self) -> bool:
         """Process a single event. Returns False if the queue was empty."""

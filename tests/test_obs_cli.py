@@ -1,0 +1,94 @@
+"""CLI surface of the observability layers.
+
+Scaled like tests/test_cli.py: small probe counts, experiment G/H, so
+each invocation stays in the tier-1 time budget.
+"""
+
+from repro.__main__ import build_parser, main
+from repro.obs import import_metrics, import_spans, validate_span_chains
+
+
+def test_parser_accepts_obs_flags():
+    parser = build_parser()
+    for argv in (
+        ["ddos", "H", "--trace", "/tmp/s.jsonl", "--metrics-out", "/tmp/m.jsonl"],
+        ["baseline", "60", "--trace", "/tmp/s.jsonl"],
+        ["report", "--metrics-out", "/tmp/m.jsonl"],
+        ["profile", "H", "--probes", "50", "--top", "3"],
+        ["analyze-trace", "/tmp/s.jsonl", "--mode", "trace-summary", "--top", "5"],
+    ):
+        parser.parse_args(argv)
+
+
+def test_cli_ddos_trace_and_metrics(tmp_path, capsys):
+    trace_path = tmp_path / "spans.jsonl"
+    metrics_path = tmp_path / "metrics.jsonl"
+    assert (
+        main(
+            [
+                "ddos", "G", "--probes", "30",
+                "--trace", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "wrote" in output and "spans" in output
+
+    with trace_path.open() as stream:
+        spans = import_spans(stream)
+    assert validate_span_chains(spans)  # schema + completeness
+    with metrics_path.open() as stream:
+        snapshots = import_metrics(stream)
+    assert snapshots
+    assert all("stub.queries" in snap.values for snap in snapshots)
+
+
+def test_cli_baseline_trace(tmp_path, capsys):
+    trace_path = tmp_path / "spans.jsonl"
+    assert (
+        main(["baseline", "60", "--probes", "40", "--trace", str(trace_path)])
+        == 0
+    )
+    capsys.readouterr()
+    with trace_path.open() as stream:
+        assert validate_span_chains(import_spans(stream))
+
+
+def test_cli_trace_summary_mode(tmp_path, capsys):
+    trace_path = tmp_path / "spans.jsonl"
+    assert main(["ddos", "G", "--probes", "24", "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    assert (
+        main(
+            ["analyze-trace", str(trace_path), "--mode", "trace-summary", "--top", "3"]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "slowest 3 query lifecycles" in output
+    assert "spans per lifecycle by outcome" in output
+
+
+def test_cli_profile(capsys):
+    assert main(["profile", "G", "--probes", "24", "--top", "4"]) == 0
+    output = capsys.readouterr().out
+    assert "Simulation kernel profile" in output
+    assert "events processed" in output
+    assert "callback sites by wall time" in output
+
+
+def test_cli_traced_run_with_cache(tmp_path, capsys):
+    """Warm-cache reruns replay identical telemetry files."""
+    cache_dir = str(tmp_path / "cache")
+    trace_path = tmp_path / "spans.jsonl"
+    argv = [
+        "ddos", "G", "--probes", "20",
+        "--trace", str(trace_path), "--cache-dir", cache_dir,
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    cold = trace_path.read_text()
+    assert main(argv) == 0
+    assert trace_path.read_text() == cold

@@ -1,0 +1,149 @@
+"""Metrics registry units, snapshot reconciliation, and cache transport."""
+
+import io
+
+from repro.core.experiments.ddos import DDOS_EXPERIMENTS
+from repro.core.metrics import responses_by_round
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    ObsSpec,
+    export_metrics,
+    import_metrics,
+)
+from repro.runner import DiskCache, ddos_request, run_many
+
+
+# ----------------------------------------------------------------------
+# Instrument units
+# ----------------------------------------------------------------------
+def test_counter_and_gauge():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(3)
+    assert counter.value == 4
+    assert registry.counter("c") is counter  # get-or-create
+
+    gauge = registry.gauge("g")
+    gauge.inc()
+    gauge.inc()
+    gauge.dec()
+    assert gauge.value == 1
+    assert gauge.max_value == 2  # high-water mark survives the dec
+
+
+def test_histogram_buckets():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h", bounds=(1, 4, 16))
+    for value in (0, 1, 3, 5, 100):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.total == 109
+    # bisect_left: bucket[i] counts values <= bounds[i] (0,1 -> le.1).
+    assert histogram.buckets == [2, 1, 1, 1]
+
+
+def test_family_and_snapshot_flattening():
+    registry = MetricsRegistry()
+    registry.counter("stub.queries").inc(7)
+    registry.gauge("inflight").set(3)
+    registry.histogram("sends", bounds=(2,)).observe(1)
+    registry.family("outcome").inc(("ok", 0), 5)
+    registry.register_collector("pull", lambda: {"a": 1, "b": 2})
+    registry.register_collector("scalar", lambda: 9)
+
+    snap = registry.snapshot(600.0, 0)
+    assert snap.values["stub.queries"] == 7
+    assert snap.values["inflight"] == 3
+    assert snap.values["inflight.max"] == 3
+    assert snap.values["sends.count"] == 1
+    assert snap.values["sends.le.2"] == 1
+    assert snap.values["sends.le.inf"] == 0
+    assert snap.values["outcome.ok.0"] == 5
+    assert snap.values["pull.a"] == 1 and snap.values["pull.b"] == 2
+    assert snap.values["scalar"] == 9
+    assert registry.snapshots == [snap]
+
+
+def test_metrics_jsonl_round_trip():
+    snaps = [MetricsSnapshot(600.0, 0, {"a": 1, "b.c": 2.5})]
+    stream = io.StringIO()
+    assert export_metrics(snaps, stream, run="ddos-H") == 1
+    stream.seek(0)
+    assert import_metrics(stream) == snaps
+
+
+# ----------------------------------------------------------------------
+# Per-round snapshots reconcile with the client-side outcome series
+# ----------------------------------------------------------------------
+def test_stub_outcome_metrics_match_responses_by_round():
+    [result] = run_many(
+        [
+            ddos_request(
+                DDOS_EXPERIMENTS["H"],
+                probe_count=24,
+                seed=5,
+                obs=ObsSpec(metrics=True),
+            )
+        ],
+        jobs=1,
+    )
+    snapshots = result.testbed.metric_snapshots
+    rounds = int(
+        DDOS_EXPERIMENTS["H"].total_duration_min
+        / DDOS_EXPERIMENTS["H"].probe_interval_min
+    )
+    # One snapshot per round boundary plus the final post-run reading.
+    assert [snap.round_index for snap in snapshots] == list(range(rounds + 1))
+
+    final = snapshots[-1].values
+    measured = {}
+    for key, value in final.items():
+        if key.startswith("stub.outcome."):
+            _, _, outcome, round_index = key.split(".")
+            measured[(int(round_index), outcome)] = value
+    expected = {
+        (round_index, outcome): count
+        for round_index, bucket in responses_by_round(
+            result.answers, DDOS_EXPERIMENTS["H"].round_seconds
+        ).items()
+        for outcome, count in bucket.items()
+        if count
+    }
+    assert measured == expected
+
+    # Total queries issued must match the per-outcome total.
+    assert final["stub.queries"] == sum(measured.values())
+
+
+# ----------------------------------------------------------------------
+# Telemetry survives the worker boundary and the disk cache
+# ----------------------------------------------------------------------
+def test_metrics_survive_disk_cache_round_trip(tmp_path):
+    cache = DiskCache(tmp_path / "cache")
+    request = ddos_request(
+        DDOS_EXPERIMENTS["G"],
+        probe_count=16,
+        seed=9,
+        obs=ObsSpec(trace=True, metrics=True),
+    )
+    [cold] = run_many([request], jobs=1, cache=cache)
+    assert cache.misses == 1
+    [warm] = run_many([request], jobs=1, cache=cache)
+    assert cache.hits == 1
+
+    assert warm.testbed.metric_snapshots == cold.testbed.metric_snapshots
+    assert warm.testbed.spans == cold.testbed.spans
+    assert len(warm.testbed.spans) > 0
+    assert len(warm.testbed.metric_snapshots) > 0
+
+
+def test_obs_spec_changes_the_cache_key(tmp_path):
+    from repro.runner import cache_key
+
+    plain = ddos_request(DDOS_EXPERIMENTS["G"], probe_count=16, seed=9)
+    traced = ddos_request(
+        DDOS_EXPERIMENTS["G"], probe_count=16, seed=9, obs=ObsSpec(trace=True)
+    )
+    assert cache_key(plain) != cache_key(traced)

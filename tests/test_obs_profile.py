@@ -1,0 +1,81 @@
+"""Simulator profiling hooks."""
+
+from repro.core.experiments.ddos import DDOS_EXPERIMENTS, run_ddos
+from repro.obs import ObsSpec
+from repro.simcore.simulator import Simulator
+
+
+def test_profiling_disabled_by_default():
+    sim = Simulator()
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    assert sim.profile is None
+
+
+def test_profile_counts_events_and_sites():
+    sim = Simulator()
+    sim.enable_profiling()
+
+    def tick():
+        pass
+
+    for index in range(10):
+        sim.call_later(float(index), tick)
+    sim.run()
+
+    profile = sim.profile
+    assert profile.events == 10
+    assert profile.sim_seconds == 9.0
+    assert profile.wall_seconds > 0
+    assert profile.max_heap >= 1
+    summary = profile.summary()
+    assert summary["events"] == 10
+    assert summary["events_per_second"] > 0
+    assert summary["wall_per_sim_second"] > 0
+    [(site, stats)] = list(summary["sites"].items())
+    assert "tick" in site
+    assert stats["calls"] == 10
+    assert stats["wall_seconds"] >= 0
+
+
+def test_enable_profiling_is_idempotent():
+    sim = Simulator()
+    profile = sim.enable_profiling()
+    assert sim.enable_profiling() is profile
+
+
+def test_profile_accumulates_across_runs():
+    sim = Simulator()
+    sim.enable_profiling()
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    assert sim.profile.events == 2
+
+
+def test_profiled_ddos_run_reports_summary():
+    result = run_ddos(
+        DDOS_EXPERIMENTS["G"],
+        probe_count=12,
+        seed=7,
+        obs=ObsSpec(profile=True),
+    )
+    profile = result.testbed.profile_summary()
+    assert profile is not None
+    assert profile["events"] > 0
+    assert profile["max_heap"] > 0
+    assert profile["sites"], "no callback sites recorded"
+    # Sites are ordered by wall time, descending.
+    walls = [stats["wall_seconds"] for stats in profile["sites"].values()]
+    assert walls == sorted(walls, reverse=True)
+
+
+def test_profiling_does_not_change_results():
+    plain = run_ddos(DDOS_EXPERIMENTS["G"], probe_count=12, seed=7)
+    profiled = run_ddos(
+        DDOS_EXPERIMENTS["G"], probe_count=12, seed=7, obs=ObsSpec(profile=True)
+    )
+    assert [
+        (answer.status, answer.sent_at) for answer in plain.answers
+    ] == [(answer.status, answer.sent_at) for answer in profiled.answers]
