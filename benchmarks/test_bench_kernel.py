@@ -12,10 +12,14 @@ import time
 
 from conftest import emit
 
+from repro.defense.capacity import ServiceCapacity
+from repro.defense.rrl import SEND, ResponseRateLimiter
 from repro.simcore.simulator import Simulator
 
 BURST_EVENTS = 50_000
 RETRY_TIMERS = 20_000
+ATTACK_EVENTS = 40_000
+ATTACK_CHAINS = 16
 
 
 def drain_burst() -> int:
@@ -51,6 +55,41 @@ def retry_storm() -> int:
     return cancelled
 
 
+def attack_flood() -> int:
+    """Attack-traffic event path: self-rescheduling attacker chains.
+
+    Each attacker is a timer chain (the :mod:`repro.attackload` shape —
+    no Host object, every query is one kernel event) and every event
+    runs the defense hot path: one RRL token-bucket check plus one
+    capacity admission. This is the per-packet cost a flooded
+    authoritative pays, isolated from DNS message handling.
+    """
+    sim = Simulator()
+    rrl = ResponseRateLimiter(rate=20.0, burst=40.0, slip=2, prefix_len=24)
+    capacity = ServiceCapacity(rate=1000.0, queue_limit=64)
+    per_chain = ATTACK_EVENTS // ATTACK_CHAINS
+    served = 0
+
+    def fire(source, remaining, interval):
+        nonlocal served
+        if rrl.check(source, sim.now) == SEND:
+            if capacity.admit(sim.now) is not None:
+                served += 1
+        if remaining:
+            sim.call_later(interval, fire, source, remaining - 1, interval)
+
+    for index in range(ATTACK_CHAINS):
+        sim.call_later(
+            index * 1e-3,
+            fire,
+            f"203.0.{index}.1",
+            per_chain - 1,
+            0.01 + index * 1e-4,
+        )
+    sim.run()
+    return sim.events_processed
+
+
 def test_bench_kernel_burst(benchmark, output_dir):
     processed = benchmark.pedantic(drain_burst, rounds=3, iterations=1)
     assert processed == BURST_EVENTS
@@ -75,6 +114,20 @@ def test_bench_kernel_retry_storm(benchmark, output_dir):
         "Kernel retry-storm throughput: "
         f"{total} timers ({cancelled} cancelled) in {seconds * 1e3:.1f} ms "
         f"({total / seconds:,.0f} timers/s)",
+    )
+
+
+def test_bench_kernel_attack_flood(benchmark, output_dir):
+    processed = benchmark.pedantic(attack_flood, rounds=3, iterations=1)
+    assert processed == ATTACK_EVENTS
+    seconds = benchmark.stats.stats.mean
+    emit(
+        output_dir,
+        "kernel_attack",
+        "Kernel attack-flood throughput: "
+        f"{processed} events ({ATTACK_CHAINS} chains, RRL + capacity per "
+        f"event) in {seconds * 1e3:.1f} ms "
+        f"({processed / seconds:,.0f} events/s)",
     )
 
 

@@ -2,12 +2,13 @@
 """Assert the simulation kernel stays within budget of its recorded pace.
 
 The observability layer promises to be zero-cost when disabled; this
-script enforces that promise. It re-runs the two kernel micro-benchmark
+script enforces that promise. It re-runs the kernel micro-benchmark
 workloads from ``benchmarks/test_bench_kernel.py`` (tracing and
 profiling off, best of ``--rounds``) and compares the throughput against
-the committed numbers in ``benchmarks/output/kernel_burst.txt`` and
-``kernel_retry.txt``, failing if either workload is more than
-``--tolerance`` slower.
+the committed numbers in ``benchmarks/output/kernel_burst.txt``,
+``kernel_retry.txt``, and ``kernel_attack.txt`` (the attack-traffic
+event path: attacker timer chains through the defense hot path),
+failing if any workload is more than ``--tolerance`` slower.
 
 Usage::
 
@@ -62,8 +63,10 @@ def main(argv=None) -> int:
     bench_dir = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
     sys.path.insert(0, str(bench_dir))
     from test_bench_kernel import (
+        ATTACK_EVENTS,
         BURST_EVENTS,
         RETRY_TIMERS,
+        attack_flood,
         drain_burst,
         retry_storm,
     )
@@ -71,6 +74,7 @@ def main(argv=None) -> int:
     checks = [
         ("burst", drain_burst, BURST_EVENTS, bench_dir / "output" / "kernel_burst.txt"),
         ("retry-storm", retry_storm, 2 * RETRY_TIMERS, bench_dir / "output" / "kernel_retry.txt"),
+        ("attack-flood", attack_flood, ATTACK_EVENTS, bench_dir / "output" / "kernel_attack.txt"),
     ]
     failed = False
     for name, workload, operations, baseline_path in checks:

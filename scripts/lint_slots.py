@@ -28,6 +28,10 @@ HOT_RECORD_CLASSES = {
     "repro/resolvers/recursive.py": ["Outcome", "_PendingQuery"],
     "repro/resolvers/forwarder.py": ["_Forwarded"],
     "repro/obs/records.py": ["SpanEvent", "MetricsSnapshot"],
+    "repro/defense/rrl.py": ["TokenBucket"],
+    "repro/defense/capacity.py": ["ServiceCapacity"],
+    "repro/defense/pipeline.py": ["DefenseStats"],
+    "repro/attackload/attackers.py": ["AttackLoadStats"],
 }
 
 

@@ -36,6 +36,7 @@ from repro.core import (
     classify_answers,
     classify_misses_by_resolver,
 )
+from repro.attackload import AttackLoadSpec
 from repro.core.experiments import (
     BASELINE_EXPERIMENTS,
     DDOS_EXPERIMENTS,
@@ -43,9 +44,12 @@ from repro.core.experiments import (
     BaselineSpec,
     DDoSResult,
     DDoSSpec,
+    DefenseStudyResult,
     run_baseline,
     run_ddos,
+    run_defense_study,
 )
+from repro.defense import DefenseSpec
 from repro.core.experiments.glue import (
     run_cache_dump_study,
     run_glue_experiment,
@@ -77,6 +81,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnswerClass",
+    "AttackLoadSpec",
     "AttackSchedule",
     "AttackWindow",
     "AuthoritativeServer",
@@ -87,6 +92,8 @@ __all__ = [
     "DDOS_EXPERIMENTS",
     "DDoSResult",
     "DDoSSpec",
+    "DefenseSpec",
+    "DefenseStudyResult",
     "DiskCache",
     "DnsCache",
     "ForwardingResolver",
@@ -121,6 +128,7 @@ __all__ = [
     "run_baseline",
     "run_cache_dump_study",
     "run_ddos",
+    "run_defense_study",
     "run_glue_experiment",
     "run_many",
     "run_probe_case",

@@ -12,6 +12,7 @@ Examples::
     python -m repro probe-case
     python -m repro report --jobs 4 --cache-dir .repro-cache
     python -m repro sweep --jobs 0 --cache-dir .repro-cache
+    python -m repro defense-study --jobs 0 --intensities 2,4,10
 """
 
 from __future__ import annotations
@@ -266,6 +267,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_defense_study(args: argparse.Namespace) -> int:
+    from repro.core.experiments.defense_study import run_defense_study
+
+    intensities = [float(value) for value in args.intensities.split(",")]
+    study = run_defense_study(
+        intensities=intensities,
+        capacity=args.capacity,
+        mode=args.mode,
+        attackers=args.attackers,
+        probe_count=args.probes,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+    )
+    print(study.render())
+    if args.json:
+        import json
+
+        payload = {
+            "capacity": study.capacity,
+            "mode": study.mode,
+            "probe_count": study.probe_count,
+            "seed": study.seed,
+            "cells": [
+                {
+                    "layers": cell.layers,
+                    "intensity": cell.intensity,
+                    "failure_before": cell.failure_before,
+                    "failure_during": cell.failure_during,
+                    "legit_served_fraction": cell.legit_served_fraction,
+                    "attack_served_fraction": cell.attack_served_fraction,
+                    "defense_stats": cell.defense_stats,
+                    "attack_stats": cell.attack_stats,
+                }
+                for cell in study.cells
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.experiments.ddos import run_ddos
     from repro.obs import ObsSpec
@@ -317,6 +362,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         cache=_make_cache(args),
         trace_path=args.trace,
         metrics_path=args.metrics_out,
+        include_defense=args.defense,
     )
     print(report)
     if args.output:
@@ -412,6 +458,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
+    defense = subparsers.add_parser(
+        "defense-study",
+        help=(
+            "layered authoritative defenses vs real attack traffic "
+            "(emergent-loss Table 4 analogue)"
+        ),
+    )
+    defense.add_argument(
+        "--intensities",
+        default="2,4,10",
+        help="comma list of offered-load / capacity ratios",
+    )
+    defense.add_argument(
+        "--capacity",
+        type=float,
+        default=20.0,
+        help="per-server service capacity in q/s",
+    )
+    defense.add_argument(
+        "--mode",
+        default="direct-flood",
+        choices=["direct-flood", "random-subdomain", "nxns"],
+        help="attack traffic mode",
+    )
+    defense.add_argument(
+        "--attackers", type=int, default=8, help="attacker population size"
+    )
+    defense.add_argument("--probes", type=int, default=120)
+    defense.add_argument(
+        "--json", metavar="PATH", help="also write the full grid as JSON"
+    )
+    _add_runner_flags(defense)
+    defense.set_defaults(func=_cmd_defense_study)
+
     profile = subparsers.add_parser(
         "profile",
         help="profile the simulation kernel over one DDoS experiment",
@@ -437,6 +517,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--ddos-probes", type=int, default=400)
     report.add_argument(
         "--output", metavar="PATH", help="also write the report to a file"
+    )
+    report.add_argument(
+        "--defense",
+        action="store_true",
+        help="append the layered-defense grid (beyond the paper)",
     )
     _add_runner_flags(report)
     _add_obs_flags(report)

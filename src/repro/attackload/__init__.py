@@ -1,0 +1,47 @@
+"""Adversarial attack traffic through the emulated topology.
+
+The paper (and :mod:`repro.netem.attack`) models DDoS as an axiomatic
+inbound drop fraction at the victims. This package generates the
+*queries themselves*: attacker populations whose streams traverse the
+same network, recursives, and authoritatives as the legitimate vantage
+points — which is what makes the authoritative-side defenses in
+:mod:`repro.defense` meaningful (they must tell the two apart) and
+makes drop probability under the finite-capacity service model emergent
+rather than configured.
+
+Three modes (see :class:`AttackLoadSpec`): direct floods at the
+authoritatives (optionally source-spoofed), random-subdomain "water
+torture" through the open recursive layer, and NXNS-style delegation
+amplification where one attacker query fans out into many
+authoritative-bound address resolutions.
+"""
+
+from repro.attackload.attackers import (
+    AttackLoad,
+    AttackLoadStats,
+    NxnsAuthoritative,
+    build_attack_load,
+)
+from repro.attackload.spec import (
+    MODE_DIRECT,
+    MODE_NXNS,
+    MODE_SUBDOMAIN,
+    MODES,
+    SPOOF_NONE,
+    SPOOF_RANDOM,
+    AttackLoadSpec,
+)
+
+__all__ = [
+    "AttackLoad",
+    "AttackLoadSpec",
+    "AttackLoadStats",
+    "MODES",
+    "MODE_DIRECT",
+    "MODE_NXNS",
+    "MODE_SUBDOMAIN",
+    "NxnsAuthoritative",
+    "SPOOF_NONE",
+    "SPOOF_RANDOM",
+    "build_attack_load",
+]

@@ -1,0 +1,99 @@
+"""The frozen attack-load configuration.
+
+Like :class:`~repro.defense.spec.DefenseSpec`, this rides
+:class:`~repro.core.testbed.TestbedConfig` and
+:class:`~repro.runner.executor.RunRequest` and participates in the
+disk-cache key. ``None`` (the default everywhere) wires nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Attack modes.
+MODE_DIRECT = "direct-flood"
+MODE_SUBDOMAIN = "random-subdomain"
+MODE_NXNS = "nxns"
+
+MODES = (MODE_DIRECT, MODE_SUBDOMAIN, MODE_NXNS)
+
+#: Source-address behavior for direct floods.
+SPOOF_NONE = "none"
+SPOOF_RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class AttackLoadSpec:
+    """An attacker population and its query stream.
+
+    ``mode`` selects the stream shape:
+
+    * ``direct-flood`` — queries straight at the victim authoritatives
+      (apex A queries, the classic reflection trigger). With
+      ``spoof="none"`` each attacker uses its own source address (RRL's
+      best case); with ``spoof="random"`` sources rotate through a pool
+      of ``spoof_pool`` spoofed addresses per attacker, spreading load
+      across RRL buckets (RRL's worst case). Responses to spoofed
+      sources blackhole at the network, as in reality.
+    * ``random-subdomain`` — water torture: unique non-existent names
+      under the victim zone, sent *through* the open recursive layer
+      with RD=1, so every query is a guaranteed cache miss that the
+      recursives dutifully carry to the victim authoritatives.
+    * ``nxns`` — the attacker also runs an authoritative for a zone of
+      its own; every query for it returns a referral delegating to
+      ``nxns_fanout`` no-glue nameservers *inside the victim zone*, and
+      the chasing recursives amplify one attacker query into a fan of
+      authoritative-bound address resolutions.
+
+    Rates are per attacker (mean of an exponential inter-arrival), so
+    total offered attack load is ``attackers * qps``. ``start`` /
+    ``duration`` are simulation seconds, normally aligned with the
+    experiment's attack window.
+    """
+
+    mode: str = MODE_DIRECT
+    attackers: int = 8
+    qps: float = 25.0
+    start: float = 0.0
+    duration: float = 3600.0
+    spoof: str = SPOOF_NONE
+    spoof_pool: int = 64
+    nxns_fanout: int = 10
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown attack mode {self.mode!r}")
+        if self.spoof not in (SPOOF_NONE, SPOOF_RANDOM):
+            raise ValueError(f"unknown spoof mode {self.spoof!r}")
+        if self.attackers < 0:
+            raise ValueError(f"attackers must be >= 0: {self.attackers}")
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive: {self.qps}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0: {self.start}")
+        if self.spoof_pool < 1:
+            raise ValueError(f"spoof_pool must be >= 1: {self.spoof_pool}")
+        if self.nxns_fanout < 1:
+            raise ValueError(f"nxns_fanout must be >= 1: {self.nxns_fanout}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def total_qps(self) -> float:
+        """Mean offered attack rate across the whole population."""
+        return self.attackers * self.qps
+
+    def describe(self) -> str:
+        extra = ""
+        if self.mode == MODE_DIRECT and self.spoof != SPOOF_NONE:
+            extra = f", spoof={self.spoof}"
+        if self.mode == MODE_NXNS:
+            extra = f", fanout={self.nxns_fanout}"
+        return (
+            f"{self.mode}: {self.attackers} attackers x {self.qps:g} qps"
+            f" over [{self.start:g}, {self.end:g})s{extra}"
+        )

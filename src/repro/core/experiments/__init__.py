@@ -24,6 +24,12 @@ from repro.core.experiments.ddos import (
     DDoSSpec,
     run_ddos,
 )
+from repro.core.experiments.defense_study import (
+    DEFENSE_LAYERS,
+    DefenseCell,
+    DefenseStudyResult,
+    run_defense_study,
+)
 from repro.core.experiments.glue import (
     CacheDumpResult,
     GlueResult,
@@ -64,6 +70,10 @@ __all__ = [
     "DDOS_EXPERIMENTS",
     "DDoSResult",
     "DDoSSpec",
+    "DEFENSE_LAYERS",
+    "DefenseCell",
+    "DefenseStudyResult",
+    "run_defense_study",
     "GlueResult",
     "ProbeCaseResult",
     "SoftwareResult",

@@ -186,6 +186,8 @@ def run_ddos(
     population: Optional[PopulationConfig] = None,
     wire_format: bool = False,
     obs: Optional[ObsSpec] = None,
+    attack_load=None,
+    defense=None,
 ) -> DDoSResult:
     """Run one Table 4 experiment end to end.
 
@@ -197,6 +199,15 @@ def run_ddos(
     ``obs`` enables the observability layers; with metrics on, the
     registry is snapshotted at every round boundary plus once after the
     run (the grace-period tail, labelled with the round count).
+
+    ``attack_load`` (an :class:`~repro.attackload.AttackLoadSpec`) adds
+    adversarial query streams and ``defense`` (a
+    :class:`~repro.defense.DefenseSpec`) arms the measurement-zone
+    authoritatives; with both None and ``loss_fraction`` > 0 this is
+    exactly the paper's axiomatic-drop experiment. A spec with
+    ``loss_fraction`` 0 schedules no drop window at all — the
+    defense-study runs use that to let loss emerge from saturation
+    instead.
     """
     population_config = population or PopulationConfig(probe_count=probe_count)
     testbed = Testbed(
@@ -206,18 +217,21 @@ def run_ddos(
             population=population_config,
             wire_format=wire_format,
             obs=obs,
+            attack_load=attack_load,
+            defense=defense,
         )
     )
     duration = spec.total_duration_min * 60.0
     attack_start, attack_end = spec.attack_window
-    testbed.add_attack(
-        attack_start,
-        attack_end - attack_start,
-        spec.loss_fraction,
-        servers=spec.servers,
-        label=f"exp-{spec.key}",
-        queue_delay=spec.queue_delay,
-    )
+    if spec.loss_fraction > 0:
+        testbed.add_attack(
+            attack_start,
+            attack_end - attack_start,
+            spec.loss_fraction,
+            servers=spec.servers,
+            label=f"exp-{spec.key}",
+            queue_delay=spec.queue_delay,
+        )
     testbed.schedule_rotations(duration)
     testbed.schedule_churn(duration)
     rounds = int(spec.total_duration_min / spec.probe_interval_min)

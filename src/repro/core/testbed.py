@@ -13,11 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.attackload import AttackLoadSpec, build_attack_load
 from repro.clients.population import (
     Population,
     PopulationConfig,
     build_population,
 )
+from repro.defense import DefenseSpec, build_defense
 from repro.core.classification import RotationSchedule
 from repro.dnscore.name import Name
 from repro.dnscore.zone import Zone
@@ -66,6 +68,11 @@ class TestbedConfig:
     population: PopulationConfig = field(default_factory=PopulationConfig)
     # Observability layers (tracing / metrics / profiling); None = all off.
     obs: Optional[ObsSpec] = None
+    # Adversarial query streams (repro.attackload); None = no attackers.
+    attack_load: Optional[AttackLoadSpec] = None
+    # Authoritative-side defense layers (repro.defense); None = the
+    # paper's infinitely-fast, undefended servers.
+    defense: Optional[DefenseSpec] = None
 
 
 class Testbed:
@@ -177,6 +184,15 @@ class Testbed:
                     query_log=self.parent_query_log,
                 )
             )
+        # Defense layers (repro.defense) guard the measurement-zone
+        # servers only — they are the attack's victims. The stack is
+        # built solely when a layer is on, so undefended runs take the
+        # exact pre-defense code path (and draw no "defense" stream).
+        self.defense_stack = None
+        if config.defense is not None and config.defense.enabled:
+            self.defense_stack = build_defense(
+                config.defense, self.streams.stream("defense")
+            )
         for host, address in test_ns.items():
             self.latency.set_base(address, draw_authoritative_base(rng))
             self.test_servers.append(
@@ -188,6 +204,11 @@ class Testbed:
                     name=f"at-{host.split('.')[0]}",
                     query_log=self.query_log,
                     tracer=tracer,
+                    defense=(
+                        self.defense_stack.make_pipeline()
+                        if self.defense_stack is not None
+                        else None
+                    ),
                 )
             )
         self.root_hints = [server.address for server in self.root_servers]
@@ -221,6 +242,21 @@ class Testbed:
             metrics=registry,
         )
 
+        # ------------------------------------------------------------------
+        # Attack load (repro.attackload). Built after the population so
+        # every legitimate allocation and stream draw happens in the same
+        # order as without it; attacker events then ride their own
+        # "attackload" stream.
+        # ------------------------------------------------------------------
+        self.attack_load = None
+        if config.attack_load is not None and config.attack_load.attackers > 0:
+            self.attack_load = build_attack_load(self)
+            self.attack_load.schedule()
+            if self.defense_stack is not None:
+                self.defense_stack.mark_attackers(
+                    self.attack_load.attacker_sources
+                )
+
         # Pull-style collectors: state that already lives on components is
         # sampled at snapshot time rather than double-counted on hot paths.
         if registry is not None:
@@ -235,6 +271,14 @@ class Testbed:
             registry.register_collector(
                 "auth.offered", self.offered_query_log.per_server_counts
             )
+            if self.defense_stack is not None:
+                registry.register_collector(
+                    "defense", self.defense_stack.stats.as_dict
+                )
+            if self.attack_load is not None:
+                registry.register_collector(
+                    "attack", self.attack_load.stats.as_dict
+                )
 
     def _make_offered_tap(self, server_name: str):
         def tap(packet) -> None:
@@ -309,6 +353,21 @@ class Testbed:
     @property
     def metric_snapshots(self):
         return self.obs.metric_snapshots
+
+    @property
+    def defense_stats(self):
+        """Aggregate defense counters as a dict, or None when undefended.
+        TestbedSnapshot carries the same attribute for detached results."""
+        if self.defense_stack is None:
+            return None
+        return self.defense_stack.stats.as_dict()
+
+    @property
+    def attack_stats(self):
+        """Attack-load counters as a dict, or None without attackers."""
+        if self.attack_load is None:
+            return None
+        return self.attack_load.stats.as_dict()
 
     def profile_summary(self):
         return self.obs.profile_summary()

@@ -1,0 +1,50 @@
+"""Layered authoritative-side DDoS defenses (beyond the paper).
+
+The source paper emulates attacks as an axiomatic inbound drop fraction
+and treats the authoritatives as infinitely fast; the defenses it
+dissects (caching, retries) all live on the *client* side. This package
+models the operator's side of the dike, following Rizvi et al.,
+*Defending Root DNS Servers Against DDoS Using Layered Defenses*: three
+mechanisms that can be layered independently in front of an
+authoritative server —
+
+* **response-rate limiting** (:mod:`repro.defense.rrl`): a BIND
+  RRL-style token bucket per source prefix with SLIP/truncate behavior,
+  so legitimate clients that get caught can retry over TCP;
+* **per-source filtering** (:mod:`repro.defense.filter`): an
+  anti-spoofing / hop-count style classifier with a configurable
+  detection rate on attacker sources and false-positive rate on
+  legitimate ones;
+* **finite service capacity** (:mod:`repro.defense.capacity`): a bounded
+  queue over a fixed service rate, so a flood *saturates* the server and
+  the drop probability becomes emergent rather than configured.
+
+Everything is wired through the frozen :class:`DefenseSpec`, which rides
+:class:`~repro.core.testbed.TestbedConfig` and
+:class:`~repro.runner.executor.RunRequest` and therefore participates in
+the disk-cache key. With the spec absent (the default) no code path
+changes and existing experiments are bit-for-bit identical.
+"""
+
+from repro.defense.capacity import ServiceCapacity
+from repro.defense.filter import SourceFilter
+from repro.defense.pipeline import (
+    DefensePipeline,
+    DefenseStack,
+    DefenseStats,
+    build_defense,
+)
+from repro.defense.rrl import ResponseRateLimiter, TokenBucket
+from repro.defense.spec import DefenseSpec
+
+__all__ = [
+    "DefensePipeline",
+    "DefenseSpec",
+    "DefenseStack",
+    "DefenseStats",
+    "ResponseRateLimiter",
+    "ServiceCapacity",
+    "SourceFilter",
+    "TokenBucket",
+    "build_defense",
+]

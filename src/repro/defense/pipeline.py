@@ -1,0 +1,181 @@
+"""The per-server defense stack and its shared accounting.
+
+Layer order mirrors where each mechanism physically sits in Rizvi et
+al.'s layered deployment: **filtering** first (upstream ACLs see the
+packet before the server does), then **RRL** (the name server's own
+per-source accounting — applied at query admission, since every UDP
+query maps to exactly one response), then **capacity** (the bounded
+service queue). TCP is exempt from RRL by design: that is the escape
+hatch that makes SLIP'd clients recover.
+
+One :class:`DefenseStack` per testbed owns the shared pieces — the
+source filter (verdicts must agree across replicas), the ground-truth
+attacker set, and the aggregate :class:`DefenseStats` — and mints one
+:class:`DefensePipeline` per authoritative server, each with its own
+RRL table and service queue (per-replica state, like real deployments).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.defense.capacity import ServiceCapacity
+from repro.defense.filter import SourceFilter
+from repro.defense.rrl import DROP, SLIP, ResponseRateLimiter
+from repro.defense.spec import DefenseSpec
+
+#: Actions a pipeline can return for an arriving query.
+ACTION_SERVE = "serve"
+ACTION_SLIP = "slip"
+ACTION_DROP_FILTERED = "drop_filtered"
+ACTION_DROP_RRL = "drop_rrl"
+ACTION_DROP_CAPACITY = "drop_capacity"
+
+
+class DefenseStats:
+    """Aggregate defense counters, split legit vs attacker.
+
+    One instance is shared by every pipeline in a testbed; the split
+    uses the testbed's ground truth (which sources the attack load
+    minted), so the collateral damage of each layer on legitimate
+    traffic is directly readable.
+    """
+
+    __slots__ = (
+        "served_legit",
+        "served_attack",
+        "filtered_legit",
+        "filtered_attack",
+        "rate_limited_legit",
+        "rate_limited_attack",
+        "slipped_legit",
+        "slipped_attack",
+        "queued_legit",
+        "queued_attack",
+        "dropped_capacity_legit",
+        "dropped_capacity_attack",
+    )
+
+    def __init__(self) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, 0)
+
+    def as_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def total(self, counter: str) -> int:
+        """legit + attack sum for one of the base counter names."""
+        return getattr(self, f"{counter}_legit") + getattr(
+            self, f"{counter}_attack"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<DefenseStats served={self.total('served')} "
+            f"filtered={self.total('filtered')} "
+            f"rate_limited={self.total('rate_limited')} "
+            f"slipped={self.total('slipped')} "
+            f"dropped_capacity={self.total('dropped_capacity')}>"
+        )
+
+
+class DefensePipeline:
+    """One authoritative server's view of the defense stack."""
+
+    def __init__(
+        self,
+        spec: DefenseSpec,
+        stats: DefenseStats,
+        source_filter: Optional[SourceFilter],
+        attacker_sources: set,
+    ) -> None:
+        self.spec = spec
+        self.stats = stats
+        self.filter = source_filter
+        self._attackers = attacker_sources
+        self.rrl: Optional[ResponseRateLimiter] = (
+            ResponseRateLimiter(
+                spec.rrl_rate,
+                spec.rrl_burst,
+                spec.rrl_slip,
+                spec.rrl_prefix_len,
+            )
+            if spec.rrl
+            else None
+        )
+        self.capacity: Optional[ServiceCapacity] = (
+            ServiceCapacity(spec.qps_capacity, spec.queue_limit)
+            if spec.qps_capacity > 0
+            else None
+        )
+
+    def admit(
+        self, source: str, transport: str, now: float
+    ) -> Tuple[str, float]:
+        """Decide one arriving query's fate: (action, serve-delay)."""
+        suffix = "attack" if source in self._attackers else "legit"
+        stats = self.stats
+        if self.filter is not None and self.filter.blocked(source):
+            _bump(stats, "filtered", suffix)
+            return ACTION_DROP_FILTERED, 0.0
+        if self.rrl is not None and transport == "udp":
+            verdict = self.rrl.check(source, now)
+            if verdict is SLIP:
+                _bump(stats, "slipped", suffix)
+                return ACTION_SLIP, 0.0
+            if verdict is DROP:
+                _bump(stats, "rate_limited", suffix)
+                return ACTION_DROP_RRL, 0.0
+        delay = 0.0
+        if self.capacity is not None:
+            admitted = self.capacity.admit(now)
+            if admitted is None:
+                _bump(stats, "dropped_capacity", suffix)
+                return ACTION_DROP_CAPACITY, 0.0
+            delay = admitted
+            # "Queued" = waited behind other work (beyond its own
+            # service time), the §5.1 queueing-latency phenomenon.
+            if delay > 1.0 / self.capacity.rate + 1e-12:
+                _bump(stats, "queued", suffix)
+        _bump(stats, "served", suffix)
+        return ACTION_SERVE, delay
+
+
+def _bump(stats: DefenseStats, counter: str, suffix: str) -> None:
+    name = f"{counter}_{suffix}"
+    setattr(stats, name, getattr(stats, name) + 1)
+
+
+class DefenseStack:
+    """Everything one testbed shares across its defended servers."""
+
+    def __init__(self, spec: DefenseSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self.stats = DefenseStats()
+        self.attacker_sources: set = set()
+        self.filter: Optional[SourceFilter] = (
+            SourceFilter(spec.filter_detection, spec.filter_fp, rng)
+            if spec.filtering
+            else None
+        )
+        self.pipelines: List[DefensePipeline] = []
+
+    def make_pipeline(self) -> DefensePipeline:
+        pipeline = DefensePipeline(
+            self.spec, self.stats, self.filter, self.attacker_sources
+        )
+        self.pipelines.append(pipeline)
+        return pipeline
+
+    def mark_attackers(self, sources) -> None:
+        """Feed the ground-truth attacker sources (from the attack load)
+        to the shared classifier and the legit/attack stat split."""
+        self.attacker_sources.update(sources)
+        if self.filter is not None:
+            self.filter.mark_attackers(sources)
+
+
+def build_defense(spec: DefenseSpec, rng: random.Random) -> DefenseStack:
+    """The testbed's constructor hook (only called when a layer is on)."""
+    return DefenseStack(spec, rng)

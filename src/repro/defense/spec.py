@@ -1,0 +1,109 @@
+"""The frozen defense configuration that rides testbed and run requests.
+
+Frozen and hashable for the same reason :class:`~repro.obs.ObsSpec` is:
+it is part of a :class:`~repro.runner.executor.RunRequest` and therefore
+of the disk-cache key, so a defended and an undefended run of the same
+scenario are different cache artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """Which defense layers an authoritative deploys, and how tuned.
+
+    All layers default off; a default-constructed spec is equivalent to
+    no spec at all (``enabled`` is False and the testbed wires nothing).
+
+    RRL parameters follow BIND's knobs: ``rrl_rate`` is the sustained
+    responses/second budget per source prefix, ``rrl_burst`` the bucket
+    depth, and ``rrl_slip`` makes every Nth limited response a truncated
+    (TC=1) answer instead of a silent drop so real clients can fall back
+    to TCP (TCP is never rate-limited). Filtering classifies each source
+    once, deterministically for the run: attacker sources are caught with
+    probability ``filter_detection`` and legitimate sources are wrongly
+    blocked with probability ``filter_fp``. ``qps_capacity`` > 0 turns on
+    the finite-capacity service model: queries are served at that rate
+    through a bounded FIFO queue of ``queue_limit`` slots and overflow is
+    dropped, which is what makes loss under flood *emergent*.
+    """
+
+    # --- response-rate limiting (BIND RRL style) ---
+    rrl: bool = False
+    rrl_rate: float = 20.0
+    rrl_burst: float = 40.0
+    rrl_slip: int = 2
+    rrl_prefix_len: int = 24
+    # --- per-source filtering ---
+    filtering: bool = False
+    filter_detection: float = 0.95
+    filter_fp: float = 0.0
+    # --- finite-capacity service model (0 = infinitely fast, the paper) ---
+    qps_capacity: float = 0.0
+    queue_limit: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rrl_rate <= 0:
+            raise ValueError(f"rrl_rate must be positive: {self.rrl_rate}")
+        if self.rrl_burst < 1:
+            raise ValueError(f"rrl_burst must be >= 1: {self.rrl_burst}")
+        if self.rrl_slip < 0:
+            raise ValueError(f"rrl_slip must be >= 0: {self.rrl_slip}")
+        if self.rrl_prefix_len not in (8, 16, 24, 32):
+            raise ValueError(
+                f"rrl_prefix_len must be a whole-octet length: "
+                f"{self.rrl_prefix_len}"
+            )
+        if not 0.0 <= self.filter_detection <= 1.0:
+            raise ValueError(
+                f"filter_detection out of range: {self.filter_detection}"
+            )
+        if not 0.0 <= self.filter_fp <= 1.0:
+            raise ValueError(f"filter_fp out of range: {self.filter_fp}")
+        if self.qps_capacity < 0:
+            raise ValueError(
+                f"qps_capacity must be non-negative: {self.qps_capacity}"
+            )
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1: {self.queue_limit}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one layer is on (the testbed wires nothing
+        otherwise, keeping undefended runs byte-identical)."""
+        return self.rrl or self.filtering or self.qps_capacity > 0
+
+    def layers(self) -> tuple:
+        """Short names of the active layers, for labels and reports."""
+        active = []
+        if self.filtering:
+            active.append("filter")
+        if self.rrl:
+            active.append("rrl")
+        if self.qps_capacity > 0:
+            active.append("capacity")
+        return tuple(active)
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "no defenses"
+        parts = []
+        if self.filtering:
+            parts.append(
+                f"filter(det={self.filter_detection:.0%}, "
+                f"fp={self.filter_fp:.1%})"
+            )
+        if self.rrl:
+            parts.append(
+                f"rrl({self.rrl_rate:g}/s burst {self.rrl_burst:g} "
+                f"slip {self.rrl_slip})"
+            )
+        if self.qps_capacity > 0:
+            parts.append(
+                f"capacity({self.qps_capacity:g} qps, "
+                f"queue {self.queue_limit})"
+            )
+        return " + ".join(parts)

@@ -50,4 +50,9 @@ def default_allocator() -> AddressAllocator:
     allocator.add_pool("public", "8.0.0.0/8")
     allocator.add_pool("authoritatives", "192.0.0.0/8")
     allocator.add_pool("anycast", "198.18.0.0/15")
+    # Attacker-controlled sources (repro.attackload): real attacker
+    # hosts, spoofed-source pools, and the NXNS authoritative. Keeping
+    # them in their own /8 keeps logs readable and gives the defense
+    # layer's legit-vs-attacker accounting an unambiguous ground truth.
+    allocator.add_pool("attackers", "203.0.0.0/8")
     return allocator

@@ -105,3 +105,36 @@ class AttackSchedule:
 
     def __repr__(self) -> str:
         return f"<AttackSchedule windows={len(self.windows)}>"
+
+
+# ---------------------------------------------------------------------------
+# Reconciling the axiomatic drop model with the emergent one.
+# ---------------------------------------------------------------------------
+# This module drops a *configured* fraction of inbound packets — the
+# paper's iptables emulation. The finite-capacity service model
+# (repro.defense.capacity) instead drops whatever exceeds the server's
+# rate: a steady offered load R against capacity C saturates the bounded
+# queue and sheds the excess, so the loss fraction converges to
+# 1 - C/R for R > C. These helpers translate between the two, and the
+# calibration test pins the translation: a flood tuned with
+# ``equivalent_flood_qps`` reproduces the paper's Table 4 loss levels
+# within tolerance.
+
+
+def equivalent_loss_fraction(offered_qps: float, qps_capacity: float) -> float:
+    """The steady-state emergent drop fraction for a given offered load."""
+    if qps_capacity <= 0:
+        raise ValueError(f"capacity must be positive: {qps_capacity}")
+    if offered_qps <= qps_capacity:
+        return 0.0
+    return 1.0 - qps_capacity / offered_qps
+
+
+def equivalent_flood_qps(loss_fraction: float, qps_capacity: float) -> float:
+    """Total offered qps that saturates ``qps_capacity`` to the given
+    loss level (the inverse of :func:`equivalent_loss_fraction`)."""
+    if not 0.0 <= loss_fraction < 1.0:
+        raise ValueError(f"loss fraction out of range: {loss_fraction}")
+    if qps_capacity <= 0:
+        raise ValueError(f"capacity must be positive: {qps_capacity}")
+    return qps_capacity / (1.0 - loss_fraction)

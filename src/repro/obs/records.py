@@ -34,6 +34,15 @@ SPAN_AUTH_QUERY = "auth_query"
 SPAN_STALE = "stale"
 SPAN_GIVE_UP = "give_up"
 SPAN_CANCELLED = "cancelled"
+# Defense-layer decisions at a defended authoritative (repro.defense).
+# All intermediate: a query that dies at a defense layer looks, to the
+# client side, like a network drop — the chain still terminates at the
+# stub (timeout/retry path), so completeness validation is unchanged.
+SPAN_FILTERED = "filtered"
+SPAN_RATE_LIMITED = "rate_limited"
+SPAN_SLIP = "slip"
+SPAN_QUEUED = "queued"
+SPAN_DROP_CAPACITY = "drop_capacity"
 # Terminal outcomes (exactly one per trace, at the stub):
 SPAN_ANSWER = "answer"
 SPAN_SERVFAIL = "servfail"
@@ -69,6 +78,11 @@ SPAN_KINDS = frozenset(
         SPAN_STALE,
         SPAN_GIVE_UP,
         SPAN_CANCELLED,
+        SPAN_FILTERED,
+        SPAN_RATE_LIMITED,
+        SPAN_SLIP,
+        SPAN_QUEUED,
+        SPAN_DROP_CAPACITY,
     }
     | TERMINAL_KINDS
 )

@@ -190,6 +190,10 @@ class RecursiveResolver(Host):
             self._m_sends = metrics.histogram(
                 "recursive.sends_per_resolution", (1, 2, 4, 8, 16, 32)
             )
+            # TC→TCP retries: the escape hatch that keeps SLIP'd (RRL)
+            # and oversized-UDP clients alive; the defense study reads
+            # this to show RRL degrading legit traffic to TCP, not dark.
+            self._m_tcp_fallbacks = metrics.counter("recursive.tcp_fallbacks")
 
     # ------------------------------------------------------------------
     # Network entry points
@@ -239,6 +243,8 @@ class RecursiveResolver(Host):
         if packet.message.tc and packet.transport == "udp":
             # Truncated UDP answer: repeat the query over TCP (RFC 7766).
             self.tcp_fallbacks += 1
+            if self._metrics is not None:
+                self._m_tcp_fallbacks.value += 1
             timeout = self.config.retry.timeout_for_attempt(0) * 3
             self.send_upstream(
                 pending.task, pending.server, timeout, transport="tcp"

@@ -16,12 +16,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.attackload import AttackLoadSpec
 from repro.clients.population import PopulationConfig
 from repro.core.experiments.baseline import (
     BaselineSpec,
     run_baseline,
 )
 from repro.core.experiments.ddos import DDoSSpec, run_ddos
+from repro.defense import DefenseSpec
 from repro.obs import ObsSpec
 from repro.runner.cache import DiskCache, cache_key
 from repro.runner.results import detach_result
@@ -57,6 +59,11 @@ class RunRequest:
     # Part of the cache key: a traced run and an untraced run of the same
     # spec are different artifacts.
     obs: Optional[ObsSpec] = None
+    # Adversarial traffic and authoritative defenses (frozen specs, like
+    # obs): both participate in the cache key, so armed and unarmed runs
+    # of the same scenario are different artifacts.
+    attack_load: Optional[AttackLoadSpec] = None
+    defense: Optional[DefenseSpec] = None
 
     def option_kwargs(self) -> dict:
         return dict(self.options)
@@ -69,9 +76,19 @@ def ddos_request(
     population: Optional[PopulationConfig] = None,
     wire_format: bool = False,
     obs: Optional[ObsSpec] = None,
+    attack_load: Optional[AttackLoadSpec] = None,
+    defense: Optional[DefenseSpec] = None,
 ) -> RunRequest:
     return RunRequest(
-        KIND_DDOS, spec, probe_count, seed, wire_format, population, obs=obs
+        KIND_DDOS,
+        spec,
+        probe_count,
+        seed,
+        wire_format,
+        population,
+        obs=obs,
+        attack_load=attack_load,
+        defense=defense,
     )
 
 
@@ -142,6 +159,8 @@ def execute_request(request: RunRequest):
             population=request.population,
             wire_format=request.wire_format,
             obs=request.obs,
+            attack_load=request.attack_load,
+            defense=request.defense,
         )
     elif kind == KIND_BASELINE:
         result = run_baseline(

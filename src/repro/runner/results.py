@@ -42,6 +42,10 @@ class TestbedSnapshot:
     spans: List = field(default_factory=list, repr=False)
     metric_snapshots: List = field(default_factory=list, repr=False)
     profile: Optional[dict] = field(default=None, repr=False)
+    # Defense/attack counter dicts (None when those subsystems are off),
+    # mirroring the live testbed's properties of the same names.
+    defense_stats: Optional[dict] = field(default=None, repr=False)
+    attack_stats: Optional[dict] = field(default=None, repr=False)
 
     @classmethod
     def from_testbed(cls, testbed) -> "TestbedSnapshot":
@@ -52,6 +56,8 @@ class TestbedSnapshot:
             spans=list(testbed.spans),
             metric_snapshots=list(testbed.metric_snapshots),
             profile=testbed.profile_summary(),
+            defense_stats=testbed.defense_stats,
+            attack_stats=testbed.attack_stats,
         )
 
     # Match the live testbed's accessor so consumers need not care which

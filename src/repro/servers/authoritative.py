@@ -36,6 +36,7 @@ class AuthoritativeServer(Host):
         enabled: bool = True,
         udp_payload_limit: int = 512,
         tracer=None,
+        defense=None,
     ) -> None:
         super().__init__(sim, network, address, name=name)
         self._trace = tracer
@@ -49,9 +50,14 @@ class AuthoritativeServer(Host):
         # Upper bound this server honors for EDNS0-advertised payloads
         # (the DNS-flag-day recommendation).
         self.edns_payload_limit = 1232
+        # Optional repro.defense pipeline consulted before serving; None
+        # (the default everywhere but defense experiments) changes no
+        # code path.
+        self.defense = defense
         self.queries_received = 0
         self.responses_sent = 0
         self.truncated_responses = 0
+        self.slipped_responses = 0
 
     # ------------------------------------------------------------------
     # Zone selection
@@ -80,7 +86,59 @@ class AuthoritativeServer(Host):
             response = make_response(message, rcode=Rcode.NOTIMP)
             self._respond(packet.src, response)
             return
+        if self.defense is not None:
+            action, delay = self.defense.admit(
+                packet.src, packet.transport, self.sim.now
+            )
+            if action != "serve":
+                self._defense_reject(packet, action)
+                return
+            if delay > 0:
+                capacity = self.defense.capacity
+                if (
+                    self._trace is not None
+                    and message.trace_id is not None
+                    and capacity is not None
+                    and delay * capacity.rate > 1.0 + 1e-9
+                ):
+                    self._trace.emit(
+                        message.trace_id,
+                        "queued",
+                        self.name,
+                        detail=f"{delay * 1000.0:.1f}ms",
+                    )
+                self.sim.call_later(delay, self._serve, packet)
+                return
+        self._serve(packet)
 
+    def _defense_reject(self, packet: Packet, action: str) -> None:
+        """A query stopped by a defense layer: drop it, or SLIP it.
+
+        SLIP sends a truncated (TC=1) empty response in place of the
+        real one; a well-behaved client retries over TCP, which the RRL
+        layer never limits. Drops are silent — to the client side they
+        are indistinguishable from the network losing the packet.
+        """
+        message = packet.message
+        if action == "slip":
+            self.slipped_responses += 1
+            if self._trace is not None and message.trace_id is not None:
+                self._trace.emit(message.trace_id, "slip", self.name)
+            response = make_response(message, rcode=Rcode.NOERROR)
+            response.tc = True
+            response.trace_id = message.trace_id
+            self._respond(packet.src, response, packet.transport)
+            return
+        if self._trace is not None and message.trace_id is not None:
+            span_kind = {
+                "drop_filtered": "filtered",
+                "drop_rrl": "rate_limited",
+                "drop_capacity": "drop_capacity",
+            }.get(action, action)
+            self._trace.emit(message.trace_id, span_kind, self.name)
+
+    def _serve(self, packet: Packet) -> None:
+        message = packet.message
         self.queries_received += 1
         question = message.question
         if self._trace is not None and message.trace_id is not None:

@@ -1,0 +1,51 @@
+"""Adversarial query-name generators for the attack-load subsystem.
+
+Lives with the other synthetic traffic generators: like
+:mod:`repro.workloads.nl_trace`, these functions only *shape* traffic —
+the sending happens in :mod:`repro.attackload`.
+
+Two families:
+
+* **Water-torture names** — ``<random>.<victim zone>``. Labels are
+  drawn letters-only on purpose: the instrumented zone synthesizes
+  answers for single *numeric* labels (probe ids), so a non-numeric
+  label is guaranteed to take the NXDOMAIN path. That makes every query
+  a cache miss at every recursive (cache-busting by construction), and
+  each unique name occupies its own negative-cache entry.
+* **NXNS target names** — the no-glue nameserver targets an NXNS-style
+  referral plants inside the victim zone. One attacker query yields
+  ``fanout`` of these, and a chasing recursive resolves each one at the
+  victim's authoritatives (Afek et al.'s amplification).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.dnscore.name import Name
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def random_label(rng: random.Random, length: int = 12) -> str:
+    """A random letters-only label (never parses as a probe id)."""
+    return "".join(rng.choice(_ALPHABET) for _ in range(length))
+
+
+def water_torture_name(rng: random.Random, origin: Name) -> Name:
+    """A unique non-existent name directly under ``origin``."""
+    return Name((random_label(rng),) + origin.labels)
+
+
+def nxns_target_names(
+    rng: random.Random, victim_origin: Name, fanout: int
+) -> List[Name]:
+    """``fanout`` nameserver names inside the victim zone, sharing one
+    random stem so a single referral's targets are related but globally
+    unique (no cross-query cache reuse)."""
+    stem = random_label(rng, 10)
+    return [
+        Name((f"{stem}-ns{index}",) + victim_origin.labels)
+        for index in range(fanout)
+    ]

@@ -1,0 +1,237 @@
+"""repro.attackload: name generators, spec validation, wired floods."""
+
+import random
+
+import pytest
+
+from repro.attackload import (
+    MODE_DIRECT,
+    MODE_NXNS,
+    MODE_SUBDOMAIN,
+    SPOOF_RANDOM,
+    AttackLoadSpec,
+)
+from repro.clients.population import PopulationConfig
+from repro.core.experiments.ddos import DDoSSpec, run_ddos
+from repro.core.testbed import Testbed, TestbedConfig
+from repro.defense import DefenseSpec
+from repro.dnscore.name import Name
+from repro.workloads.attacknames import (
+    nxns_target_names,
+    random_label,
+    water_torture_name,
+)
+
+ORIGIN = Name.from_text("cachetest.nl.")
+
+
+# ----------------------------------------------------------------------
+# Adversarial name generators
+# ----------------------------------------------------------------------
+def test_random_label_is_letters_only():
+    rng = random.Random(1)
+    for _ in range(50):
+        label = random_label(rng)
+        assert label.isalpha() and label.islower()
+
+
+def test_water_torture_names_are_unique_nonexistent_children():
+    rng = random.Random(2)
+    names = [water_torture_name(rng, ORIGIN) for _ in range(100)]
+    assert len(set(names)) == 100  # cache-busting by construction
+    for name in names:
+        assert name.is_subdomain_of(ORIGIN) and name != ORIGIN
+        assert len(name.labels) == len(ORIGIN.labels) + 1
+        # Letters-only: never parses as a probe id, so the instrumented
+        # zone takes the NXDOMAIN path for every one of these.
+        assert name.labels[0].isalpha()
+
+
+def test_nxns_targets_share_a_stem_within_one_referral():
+    rng = random.Random(3)
+    targets = nxns_target_names(rng, ORIGIN, fanout=5)
+    assert len(targets) == 5 and len(set(targets)) == 5
+    stems = {target.labels[0].rsplit("-ns", 1)[0] for target in targets}
+    assert len(stems) == 1  # one stem per referral...
+    for target in targets:
+        assert target.is_subdomain_of(ORIGIN)
+    again = nxns_target_names(rng, ORIGIN, fanout=5)
+    assert not set(targets) & set(again)  # ...but none across referrals
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mode": "teardrop"},
+        {"spoof": "sometimes"},
+        {"attackers": -1},
+        {"qps": 0.0},
+        {"duration": 0.0},
+        {"start": -1.0},
+        {"spoof_pool": 0},
+        {"nxns_fanout": 0},
+    ],
+)
+def test_spec_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        AttackLoadSpec(**kwargs)
+
+
+def test_spec_totals_and_description():
+    spec = AttackLoadSpec(attackers=4, qps=25.0, start=60.0, duration=120.0)
+    assert spec.total_qps == 100.0
+    assert spec.end == 180.0
+    assert "direct-flood" in spec.describe()
+
+
+# ----------------------------------------------------------------------
+# Wired floods (small testbeds, short windows)
+# ----------------------------------------------------------------------
+def _attack_testbed(attack, probe_count=6):
+    return Testbed(
+        TestbedConfig(
+            population=PopulationConfig(probe_count=probe_count),
+            attack_load=attack,
+        )
+    )
+
+
+def test_direct_flood_reaches_the_victims_from_attacker_sources():
+    testbed = _attack_testbed(
+        AttackLoadSpec(
+            mode=MODE_DIRECT, attackers=2, qps=10.0, start=0.0, duration=30.0
+        )
+    )
+    testbed.run(30.0)
+    assert testbed.attack_stats["queries_sent"] > 0
+    sources = set(testbed.attack_load.attacker_sources)
+    assert len(sources) == 2
+    seen = {
+        entry.src
+        for entry in testbed.offered_query_log.entries
+        if entry.src in sources
+    }
+    assert seen == sources  # both attackers landed queries at the zone
+
+
+def test_spoofed_flood_rotates_sources_and_blackholes_responses():
+    testbed = _attack_testbed(
+        AttackLoadSpec(
+            mode=MODE_DIRECT,
+            attackers=2,
+            qps=20.0,
+            start=0.0,
+            duration=30.0,
+            spoof=SPOOF_RANDOM,
+            spoof_pool=8,
+        )
+    )
+    testbed.run(30.0)  # responses to spoofed sources must not crash
+    sources = set(testbed.attack_load.attacker_sources)
+    assert len(sources) == 2 + 2 * 8
+    seen = {
+        entry.src
+        for entry in testbed.offered_query_log.entries
+        if entry.src in sources
+    }
+    # Rotation through the pool: far more distinct sources than attackers.
+    assert len(seen) > 2
+
+
+def test_subdomain_flood_arrives_via_recursives_as_cache_misses():
+    testbed = _attack_testbed(
+        AttackLoadSpec(
+            mode=MODE_SUBDOMAIN, attackers=2, qps=5.0, start=0.0, duration=30.0
+        )
+    )
+    testbed.run(30.0)
+    assert testbed.attack_stats["queries_sent"] > 0
+    torture = [
+        entry
+        for entry in testbed.offered_query_log.entries
+        if entry.qname.is_subdomain_of(testbed.origin)
+        and entry.qname != testbed.origin
+        and entry.qname.labels[0].isalpha()
+    ]
+    assert torture  # the recursives carried the junk names to the zone
+    attacker_sources = set(testbed.attack_load.attacker_sources)
+    for entry in torture:
+        # Hard to filter by design: the victim sees legit infrastructure.
+        assert entry.src not in attacker_sources
+
+
+def test_nxns_referrals_amplify_into_victim_bound_queries():
+    testbed = _attack_testbed(
+        AttackLoadSpec(
+            mode=MODE_NXNS,
+            attackers=2,
+            qps=2.0,
+            start=0.0,
+            duration=30.0,
+            nxns_fanout=4,
+        )
+    )
+    testbed.run(30.0)
+    assert testbed.attack_stats["referrals_served"] > 0
+    chased = [
+        entry
+        for entry in testbed.offered_query_log.entries
+        if "-ns" in entry.qname.labels[0]
+    ]
+    # One attacker query fans out into several no-glue NS resolutions.
+    assert len(chased) > testbed.attack_stats["referrals_served"]
+
+
+# ----------------------------------------------------------------------
+# The disabled path changes nothing
+# ----------------------------------------------------------------------
+def test_disabled_defense_spec_wires_nothing():
+    testbed = Testbed(
+        TestbedConfig(
+            population=PopulationConfig(probe_count=2),
+            defense=DefenseSpec(),  # all layers off
+        )
+    )
+    assert testbed.defense_stack is None
+    assert testbed.attack_load is None
+    assert testbed.defense_stats is None and testbed.attack_stats is None
+
+
+def test_all_off_spec_is_byte_identical_to_no_spec():
+    """`defense=DefenseSpec()` (nothing enabled) must leave an existing
+    experiment's outputs exactly as they were — same answers, same
+    offered load, same timings."""
+    spec = DDoSSpec(
+        key="ident",
+        ttl=60,
+        ddos_start_min=10,
+        ddos_duration_min=10,
+        queries_before=1,
+        total_duration_min=30,
+        probe_interval_min=10,
+        loss_fraction=0.5,
+        servers="both",
+    )
+    runs = [
+        run_ddos(spec, probe_count=10, seed=11, defense=defense)
+        for defense in (None, DefenseSpec())
+    ]
+    fingerprints = [
+        [
+            (a.probe_id, a.resolver, a.sent_at, a.answered_at, a.status, a.rcode)
+            for a in result.answers
+        ]
+        for result in runs
+    ]
+    assert fingerprints[0] == fingerprints[1]
+    logs = [
+        [
+            (entry.time, entry.src, entry.qname, entry.qtype, entry.server)
+            for entry in result.testbed.offered_query_log.entries
+        ]
+        for result in runs
+    ]
+    assert logs[0] == logs[1]

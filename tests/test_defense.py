@@ -1,0 +1,337 @@
+"""repro.defense: RRL invariants, capacity model, filter, pipeline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defense import (
+    DefenseSpec,
+    ResponseRateLimiter,
+    ServiceCapacity,
+    SourceFilter,
+    build_defense,
+)
+from repro.defense.pipeline import (
+    ACTION_DROP_CAPACITY,
+    ACTION_DROP_FILTERED,
+    ACTION_DROP_RRL,
+    ACTION_SERVE,
+    ACTION_SLIP,
+)
+from repro.defense.rrl import DROP, SEND, SLIP
+from repro.dnscore.name import Name
+from repro.dnscore.rrtypes import RRType
+from repro.resolvers.recursive import RecursiveResolver
+
+
+# ----------------------------------------------------------------------
+# RRL: the never-limits-below-the-floor invariant (property-based)
+# ----------------------------------------------------------------------
+@st.composite
+def compliant_traffic(draw):
+    """A source that never exceeds the configured rate: every gap is at
+    least one refill interval (plus an epsilon against float rounding)."""
+    rate = draw(st.floats(0.5, 50.0, allow_nan=False))
+    burst = draw(st.floats(1.0, 100.0, allow_nan=False))
+    slack = draw(
+        st.lists(st.floats(0.0, 5.0, allow_nan=False), min_size=1, max_size=60)
+    )
+    gaps = [1.0 / rate + 1e-9 + extra for extra in slack]
+    return rate, burst, gaps
+
+
+@given(compliant_traffic())
+@settings(max_examples=200)
+def test_rrl_never_limits_a_source_below_the_floor(case):
+    rate, burst, gaps = case
+    rrl = ResponseRateLimiter(rate, burst=burst, slip=2)
+    now = 0.0
+    assert rrl.check("10.0.0.1", now) == SEND  # burst >= 1: first always
+    for gap in gaps:
+        now += gap
+        assert rrl.check("10.0.0.1", now) == SEND
+
+
+def test_rrl_limits_above_the_floor_and_slips_on_cadence():
+    rrl = ResponseRateLimiter(rate=10.0, burst=2, slip=2)
+    # Same instant: burst of 2 sends, then suppression with every 2nd
+    # suppressed response slipped (TC) instead of dropped.
+    verdicts = [rrl.check("10.0.0.1", 0.0) for _ in range(6)]
+    assert verdicts == [SEND, SEND, DROP, SLIP, DROP, SLIP]
+
+
+def test_rrl_slip_zero_means_pure_drop():
+    rrl = ResponseRateLimiter(rate=10.0, burst=1, slip=0)
+    assert rrl.check("10.0.0.1", 0.0) == SEND
+    assert all(rrl.check("10.0.0.1", 0.0) == DROP for _ in range(5))
+
+
+def test_rrl_aggregates_by_prefix():
+    rrl = ResponseRateLimiter(rate=10.0, burst=1, slip=0, prefix_len=24)
+    assert rrl.check("203.0.0.1", 0.0) == SEND
+    # Different host, same /24: shares the (now empty) bucket.
+    assert rrl.check("203.0.0.99", 0.0) == DROP
+    # Different /24: fresh bucket.
+    assert rrl.check("203.0.1.1", 0.0) == SEND
+    assert rrl.tracked_prefixes() == 2
+
+
+def test_rrl_prefix_len_32_tracks_exact_sources():
+    rrl = ResponseRateLimiter(rate=10.0, burst=1, slip=0, prefix_len=32)
+    assert rrl.check("203.0.0.1", 0.0) == SEND
+    assert rrl.check("203.0.0.2", 0.0) == SEND
+    assert rrl.tracked_prefixes() == 2
+
+
+def test_rrl_compliant_source_recovers_after_a_burst():
+    rrl = ResponseRateLimiter(rate=10.0, burst=2, slip=0)
+    for _ in range(10):
+        rrl.check("10.0.0.1", 0.0)  # drain well past the burst
+    # One refill interval later the bucket holds a token again.
+    assert rrl.check("10.0.0.1", 0.2) == SEND
+
+
+# ----------------------------------------------------------------------
+# Finite capacity: the emergent-loss service model
+# ----------------------------------------------------------------------
+def test_capacity_idle_server_serves_in_one_service_time():
+    capacity = ServiceCapacity(rate=100.0, queue_limit=4)
+    assert capacity.admit(0.0) == pytest.approx(0.01)
+    # Second arrival at the same instant waits one service time.
+    assert capacity.admit(0.0) == pytest.approx(0.02)
+    assert capacity.depth(0.0) == pytest.approx(2.0)
+
+
+def test_capacity_tail_drops_when_queue_full():
+    capacity = ServiceCapacity(rate=100.0, queue_limit=2)
+    assert capacity.admit(0.0) is not None
+    assert capacity.admit(0.0) is not None
+    assert capacity.admit(0.0) is None  # backlog of 2 jobs = full
+    assert capacity.dropped == 1 and capacity.admitted == 2
+
+
+def test_capacity_backlog_drains_with_time():
+    capacity = ServiceCapacity(rate=10.0, queue_limit=8)
+    for _ in range(5):
+        capacity.admit(0.0)
+    assert capacity.depth(0.0) == pytest.approx(5.0)
+    assert capacity.depth(0.3) == pytest.approx(2.0)
+    assert capacity.depth(10.0) == 0.0
+
+
+@pytest.mark.parametrize("ratio,expected", [(2.0, 0.5), (4.0, 0.75), (10.0, 0.9)])
+def test_capacity_emergent_loss_tracks_one_minus_c_over_r(ratio, expected):
+    """Poisson flood at R = ratio x C: loss converges to ~1 - C/R."""
+    rng = random.Random(7)
+    capacity = ServiceCapacity(rate=100.0, queue_limit=10)
+    now, total = 0.0, 20000
+    served = 0
+    for _ in range(total):
+        now += rng.expovariate(ratio * 100.0)
+        if capacity.admit(now) is not None:
+            served += 1
+    loss = 1.0 - served / total
+    assert abs(loss - expected) < 0.03
+
+
+# ----------------------------------------------------------------------
+# Source filter
+# ----------------------------------------------------------------------
+def test_filter_perfect_detection_blocks_only_attackers():
+    flt = SourceFilter(detection=1.0, fp_rate=0.0, rng=random.Random(1))
+    flt.mark_attackers(["203.0.0.1", "203.0.0.2"])
+    assert flt.blocked("203.0.0.1") and flt.blocked("203.0.0.2")
+    assert not flt.blocked("100.64.0.1")
+    assert flt.classified_count() == 3
+
+
+def test_filter_verdicts_are_sticky():
+    flt = SourceFilter(detection=0.5, fp_rate=0.5, rng=random.Random(3))
+    flt.mark_attackers(["203.0.0.1"])
+    first = [flt.blocked("203.0.0.1"), flt.blocked("100.64.0.9")]
+    for _ in range(20):
+        assert flt.blocked("203.0.0.1") == first[0]
+        assert flt.blocked("100.64.0.9") == first[1]
+
+
+def test_filter_false_positives_hit_legit_sources():
+    flt = SourceFilter(detection=1.0, fp_rate=1.0, rng=random.Random(1))
+    assert flt.blocked("100.64.0.1")  # fp_rate 1: every legit source
+
+
+# ----------------------------------------------------------------------
+# DefenseSpec validation and the pipeline
+# ----------------------------------------------------------------------
+def test_default_spec_is_disabled():
+    spec = DefenseSpec()
+    assert not spec.enabled
+    assert spec.layers() == ()
+    assert spec.describe() == "no defenses"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"rrl_rate": 0.0},
+        {"rrl_burst": 0.5},
+        {"rrl_slip": -1},
+        {"rrl_prefix_len": 20},
+        {"filter_detection": 1.5},
+        {"filter_fp": -0.1},
+        {"qps_capacity": -1.0},
+        {"queue_limit": 0},
+    ],
+)
+def test_spec_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        DefenseSpec(**kwargs)
+
+
+def _stack(spec):
+    stack = build_defense(spec, random.Random(5))
+    stack.mark_attackers(["203.0.0.1"])
+    return stack
+
+
+def test_pipeline_filter_runs_first():
+    stack = _stack(DefenseSpec(filtering=True, filter_detection=1.0, rrl=True))
+    pipeline = stack.make_pipeline()
+    action, delay = pipeline.admit("203.0.0.1", "udp", 0.0)
+    assert action == ACTION_DROP_FILTERED and delay == 0.0
+    assert stack.stats.filtered_attack == 1 and stack.stats.filtered_legit == 0
+
+
+def test_pipeline_rrl_drop_and_slip_actions():
+    stack = _stack(DefenseSpec(rrl=True, rrl_rate=1.0, rrl_burst=1, rrl_slip=2))
+    pipeline = stack.make_pipeline()
+    assert pipeline.admit("100.64.0.1", "udp", 0.0)[0] == ACTION_SERVE
+    assert pipeline.admit("100.64.0.1", "udp", 0.0)[0] == ACTION_DROP_RRL
+    assert pipeline.admit("100.64.0.1", "udp", 0.0)[0] == ACTION_SLIP
+    assert stack.stats.rate_limited_legit == 1
+    assert stack.stats.slipped_legit == 1
+
+
+def test_pipeline_tcp_is_exempt_from_rrl():
+    stack = _stack(DefenseSpec(rrl=True, rrl_rate=1.0, rrl_burst=1))
+    pipeline = stack.make_pipeline()
+    pipeline.admit("100.64.0.1", "udp", 0.0)  # drain the bucket
+    for _ in range(5):
+        assert pipeline.admit("100.64.0.1", "tcp", 0.0)[0] == ACTION_SERVE
+
+
+def test_pipeline_capacity_drop_action_and_stat_split():
+    stack = _stack(DefenseSpec(qps_capacity=10.0, queue_limit=1))
+    pipeline = stack.make_pipeline()
+    assert pipeline.admit("203.0.0.1", "udp", 0.0)[0] == ACTION_SERVE
+    assert pipeline.admit("100.64.0.1", "udp", 0.0)[0] == ACTION_DROP_CAPACITY
+    assert stack.stats.served_attack == 1
+    assert stack.stats.dropped_capacity_legit == 1
+
+
+def test_pipelines_share_stats_but_not_state():
+    stack = _stack(DefenseSpec(rrl=True, rrl_rate=1.0, rrl_burst=1))
+    first, second = stack.make_pipeline(), stack.make_pipeline()
+    assert first.admit("100.64.0.1", "udp", 0.0)[0] == ACTION_SERVE
+    # Separate per-server RRL table: the other replica's bucket is full.
+    assert second.admit("100.64.0.1", "udp", 0.0)[0] == ACTION_SERVE
+    assert stack.stats.served_legit == 2
+
+
+# ----------------------------------------------------------------------
+# Defense decisions appear as spans without breaking chain completeness
+# ----------------------------------------------------------------------
+def test_defense_span_kinds_are_intermediate_not_terminal():
+    from repro.obs.records import SPAN_KINDS, TERMINAL_KINDS
+
+    defense_kinds = {
+        "filtered",
+        "rate_limited",
+        "slip",
+        "queued",
+        "drop_capacity",
+    }
+    assert defense_kinds <= SPAN_KINDS
+    assert not defense_kinds & TERMINAL_KINDS
+
+
+def test_traced_defended_run_has_complete_span_chains():
+    from repro.attackload import AttackLoadSpec
+    from repro.core.experiments.ddos import DDoSSpec, run_ddos
+    from repro.obs import ObsSpec, validate_span_chains
+
+    spec = DDoSSpec(
+        key="trace-def",
+        ttl=60,
+        ddos_start_min=5,
+        ddos_duration_min=5,
+        queries_before=1,
+        total_duration_min=15,
+        probe_interval_min=5,
+        loss_fraction=0.0,
+        servers="both",
+    )
+    result = run_ddos(
+        spec,
+        probe_count=8,
+        seed=7,
+        obs=ObsSpec(trace=True),
+        attack_load=AttackLoadSpec(
+            mode="direct-flood",
+            attackers=2,
+            qps=20.0,
+            start=300.0,
+            duration=300.0,
+        ),
+        defense=DefenseSpec(
+            rrl=True,
+            rrl_rate=5.0,
+            rrl_slip=2,
+            filtering=True,
+            qps_capacity=20.0,
+            queue_limit=10,
+        ),
+    )
+    spans = result.testbed.spans
+    kinds = {span.kind for span in spans}
+    # The saturated window leaves defense decisions in the trace...
+    assert kinds & {"queued", "drop_capacity", "rate_limited", "slip"}
+    # ...and every traced query still has a complete lifecycle chain.
+    chains = validate_span_chains(spans)
+    assert chains
+
+
+# ----------------------------------------------------------------------
+# SLIP end to end: a limited legit client recovers over TCP
+# ----------------------------------------------------------------------
+def test_slipped_client_recovers_over_tcp(world):
+    spec = DefenseSpec(rrl=True, rrl_rate=0.01, rrl_burst=1, rrl_slip=1)
+    stack = build_defense(spec, random.Random(9))
+    world.at1.defense = stack.make_pipeline()
+    world.at2.defense = stack.make_pipeline()
+    resolver = RecursiveResolver(
+        world.sim, world.network, "100.64.0.1", world.root_hints
+    )
+    outcomes = []
+    first = Name.from_text("1414.cachetest.nl.")
+    world.sim.call_later(0.0, resolver.resolve, first, RRType.AAAA, outcomes.append)
+    world.sim.run(until=30.0)
+    assert outcomes and outcomes[0].is_success
+
+    # Exhaust the resolver prefix's bucket at both replicas; with the
+    # tiny refill rate every subsequent UDP query is SLIP'd (slip=1).
+    for server in (world.at1, world.at2):
+        while server.defense.rrl.check(resolver.address, world.sim.now) == SEND:
+            pass
+
+    second = Name.from_text("1515.cachetest.nl.")
+    world.sim.call_later(0.0, resolver.resolve, second, RRType.AAAA, outcomes.append)
+    world.sim.run(until=60.0)
+    assert len(outcomes) == 2 and outcomes[1].is_success
+    # The UDP attempt was answered with a truncated SLIP and the
+    # resolver completed the lookup over TCP, which RRL never limits.
+    assert resolver.tcp_fallbacks >= 1
+    assert world.at1.slipped_responses + world.at2.slipped_responses >= 1
+    assert stack.stats.slipped_legit >= 1
+    assert stack.stats.rate_limited_legit == 0  # slip=1: nothing silently dropped

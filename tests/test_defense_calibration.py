@@ -1,0 +1,147 @@
+"""Calibration: emergent saturation loss vs the paper's configured drop.
+
+Table 4's experiments D-I *impose* loss fractions of 50%, 75%, and 90%
+at the authoritatives. The defense subsystem instead derives loss from a
+finite service capacity under a real flood. These tests pin the bridge
+between the two: a flood offering ``ratio`` x capacity must shed
+``1 - 1/ratio`` of arriving queries (within +-5 pp), so ratios 2, 4, and
+10 are the emergent analogues of the paper's 50/75/90% rows.
+
+Client-visible reliability is *not* expected to match the configured
+runs exactly — and the gap is itself a finding (DESIGN.md §9): emergent
+loss is bursty and correlated (a saturated queue clips each probe's
+resolution fan-out together, and served answers carry queueing delay
+that can outlive aggressive retry timers), while the paper's iptables
+drop is independent per packet. Correlated loss defeats retries far more
+effectively than Bernoulli loss at the same average rate, so emergent
+failure is bounded *below* by the configured-run failure and above by a
+documented band.
+"""
+
+import pytest
+
+from repro.attackload import AttackLoadSpec
+from repro.core.experiments.ddos import DDoSSpec, run_ddos
+from repro.defense import DefenseSpec
+from repro.netem.attack import equivalent_flood_qps, equivalent_loss_fraction
+
+CAPACITY = 20.0  # per server, the defense-study default
+QUEUE_LIMIT = 10  # absorbs one resolution's query fan without overflow
+SERVERS = 2
+ATTACKERS = 4
+
+#: ratio -> the Table 4 loss row it emulates.
+RATIOS = [(2.0, 0.50), (4.0, 0.75), (10.0, 0.90)]
+
+
+def _timeline(key: str, loss_fraction: float) -> DDoSSpec:
+    """A compressed Table 4 timeline: 10 min warm-up, 10 min attack."""
+    return DDoSSpec(
+        key=key,
+        ttl=60,
+        ddos_start_min=10,
+        ddos_duration_min=10,
+        queries_before=1,
+        total_duration_min=30,
+        probe_interval_min=10,
+        loss_fraction=loss_fraction,
+        servers="both",
+    )
+
+
+def _emergent_run(ratio: float):
+    total_qps = ratio * CAPACITY * SERVERS
+    return run_ddos(
+        _timeline(f"calib-{ratio:g}x", 0.0),
+        probe_count=40,
+        seed=13,
+        attack_load=AttackLoadSpec(
+            mode="direct-flood",
+            attackers=ATTACKERS,
+            qps=total_qps / ATTACKERS,
+            start=600.0,
+            duration=600.0,
+        ),
+        defense=DefenseSpec(qps_capacity=CAPACITY, queue_limit=QUEUE_LIMIT),
+    )
+
+
+def _measured_loss(result) -> float:
+    stats = result.testbed.defense_stats
+    served = stats["served_legit"] + stats["served_attack"]
+    dropped = (
+        stats["dropped_capacity_legit"] + stats["dropped_capacity_attack"]
+    )
+    return dropped / (served + dropped)
+
+
+@pytest.fixture(scope="module")
+def calibration_runs():
+    """One emergent and one configured-drop run per Table 4 loss level."""
+    runs = {}
+    for ratio, loss in RATIOS:
+        emergent = _emergent_run(ratio)
+        configured = run_ddos(
+            _timeline(f"calib-cfg-{loss:g}", loss), probe_count=40, seed=13
+        )
+        runs[ratio] = (loss, emergent, configured)
+    return runs
+
+
+@pytest.mark.parametrize("ratio,loss", RATIOS)
+def test_flood_calibrates_to_the_configured_drop_equivalent(
+    calibration_runs, ratio, loss
+):
+    """A flood at ratio x capacity sheds 1 - 1/ratio of arrivals +-5 pp."""
+    _, emergent, _ = calibration_runs[ratio]
+    measured = _measured_loss(emergent)
+    expected = equivalent_loss_fraction(ratio * CAPACITY, CAPACITY)
+    assert expected == pytest.approx(loss, abs=1e-9)
+    assert abs(measured - expected) <= 0.05
+
+
+def test_equivalence_helpers_round_trip():
+    for ratio, loss in RATIOS:
+        qps = equivalent_flood_qps(loss, CAPACITY)
+        assert equivalent_loss_fraction(qps, CAPACITY) == pytest.approx(loss)
+        assert qps == pytest.approx(ratio * CAPACITY)
+
+
+def test_emergent_failure_brackets_the_configured_run(calibration_runs):
+    """Reliability ordering matches Table 4, with the documented band.
+
+    Correlated emergent loss is strictly harsher on clients than
+    independent configured loss at the same average rate; the band below
+    (+45 pp) is the measured envelope of that divergence, not a model
+    error (DESIGN.md §9).
+    """
+    for ratio, (loss, emergent, configured) in calibration_runs.items():
+        fail_emergent = emergent.failure_fraction_during_attack()
+        fail_configured = configured.failure_fraction_during_attack()
+        assert fail_emergent >= fail_configured - 0.02
+        assert fail_emergent <= fail_configured + 0.45
+
+
+def test_failure_orders_monotonically_with_intensity(calibration_runs):
+    """More offered load -> lower reliability, for both loss models."""
+    emergent_failures = [
+        calibration_runs[ratio][1].failure_fraction_during_attack()
+        for ratio, _ in RATIOS
+    ]
+    configured_failures = [
+        calibration_runs[ratio][2].failure_fraction_during_attack()
+        for ratio, _ in RATIOS
+    ]
+    assert emergent_failures == sorted(emergent_failures)
+    assert configured_failures == sorted(configured_failures)
+
+
+def test_attack_does_not_hurt_the_warmup_rounds(calibration_runs):
+    """Before the flood starts the defended zone serves normally: the
+    pre-attack failure floor stays near the baseline-loss level."""
+    for ratio, (loss, emergent, configured) in calibration_runs.items():
+        assert emergent.failure_fraction_before_attack() <= 0.15
+        assert (
+            emergent.failure_fraction_before_attack()
+            <= configured.failure_fraction_before_attack() + 0.10
+        )

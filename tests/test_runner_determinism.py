@@ -9,7 +9,10 @@ paper's tables and figures are built from.
 
 import pytest
 
+from repro.attackload import AttackLoadSpec
 from repro.core.experiments import BASELINE_EXPERIMENTS, DDOS_EXPERIMENTS
+from repro.core.experiments.ddos import DDoSSpec
+from repro.defense import DefenseSpec
 from repro.runner import (
     DiskCache,
     baseline_request,
@@ -20,6 +23,27 @@ from repro.runner import (
 DDOS_PROBES = 24
 BASELINE_PROBES = 40
 SEED = 42
+
+# A defended emergent-loss scenario (the defense-study shape at reduced
+# scale): real attackers, RRL + filter + finite capacity. It must obey
+# the same jobs=N / cache contracts as the axiomatic-drop experiments.
+DEFENSE_SPEC = DDoSSpec(
+    key="det-defense",
+    ttl=60,
+    ddos_start_min=10,
+    ddos_duration_min=10,
+    queries_before=1,
+    total_duration_min=30,
+    probe_interval_min=10,
+    loss_fraction=0.0,
+    servers="both",
+)
+DEFENSE_ATTACK = AttackLoadSpec(
+    mode="direct-flood", attackers=2, qps=20.0, start=600.0, duration=600.0
+)
+DEFENSE_DEFENSE = DefenseSpec(
+    rrl=True, rrl_rate=5.0, filtering=True, qps_capacity=20.0, queue_limit=10
+)
 
 
 def ddos_metrics(result):
@@ -36,6 +60,8 @@ def ddos_metrics(result):
             (row.round_index, row.mean_ms, row.median_ms)
             for row in result.latency_series()
         ],
+        "defense": result.testbed.defense_stats,
+        "attack": result.testbed.attack_stats,
     }
 
 
@@ -51,13 +77,25 @@ def baseline_metrics(result):
 
 @pytest.fixture(scope="module")
 def battery_requests():
-    return [
-        ddos_request(spec, probe_count=DDOS_PROBES, seed=SEED)
-        for spec in DDOS_EXPERIMENTS.values()
-    ] + [
-        baseline_request(spec, probe_count=BASELINE_PROBES, seed=SEED)
-        for spec in BASELINE_EXPERIMENTS.values()
-    ]
+    return (
+        [
+            ddos_request(spec, probe_count=DDOS_PROBES, seed=SEED)
+            for spec in DDOS_EXPERIMENTS.values()
+        ]
+        + [
+            ddos_request(
+                DEFENSE_SPEC,
+                probe_count=DDOS_PROBES,
+                seed=SEED,
+                attack_load=DEFENSE_ATTACK,
+                defense=DEFENSE_DEFENSE,
+            )
+        ]
+        + [
+            baseline_request(spec, probe_count=BASELINE_PROBES, seed=SEED)
+            for spec in BASELINE_EXPERIMENTS.values()
+        ]
+    )
 
 
 @pytest.fixture(scope="module")
@@ -66,7 +104,7 @@ def serial_results(battery_requests):
 
 
 def metrics_of(results):
-    ddos_count = len(DDOS_EXPERIMENTS)
+    ddos_count = len(DDOS_EXPERIMENTS) + 1  # + the defended scenario
     return [
         ddos_metrics(result) if index < ddos_count else baseline_metrics(result)
         for index, result in enumerate(results)
@@ -92,3 +130,4 @@ def test_every_scenario_key_covered(battery_requests):
     keys = {request.spec.key for request in battery_requests}
     assert set(DDOS_EXPERIMENTS) <= keys
     assert set(BASELINE_EXPERIMENTS) <= keys
+    assert "det-defense" in keys
