@@ -1,81 +1,29 @@
 #!/usr/bin/env python
 """Verify hot-path record classes declare ``__slots__``.
 
-Record objects created per query/packet/event dominate the simulator's
-allocation profile, so they all carry ``__slots__`` (smaller instances,
-faster attribute access, and pickling stays natural at protocol >= 2).
-This lint pins that invariant: it parses the source with :mod:`ast` (no
-imports, so it is cheap and side-effect free) and fails if any class in
-the registry below is missing or has lost its ``__slots__`` declaration.
-
-Run from the repository root::
+Compatibility shim: the hand-maintained registry this script used to
+carry is gone. The check now lives in the ``repro lint`` static-analysis
+suite as the ``hot-path-slots`` rule, which *discovers* classes
+instantiated on simulator callback paths instead of pinning a list (see
+``src/repro/lint/checkers/slots.py``). This entry point remains so
+existing CI invocations and docs keep working::
 
     python scripts/lint_slots.py
+
+is now exactly ``python -m repro lint --rules hot-path-slots``.
 """
 
 from __future__ import annotations
 
-import ast
 import pathlib
 import sys
 
-# module path (relative to src/) -> classes that must stay slotted.
-HOT_RECORD_CLASSES = {
-    "repro/simcore/events.py": ["Event"],
-    "repro/netem/transport.py": ["Packet", "NetworkCounters"],
-    "repro/servers/querylog.py": ["QueryLogEntry"],
-    "repro/resolvers/stub.py": ["StubAnswer"],
-    "repro/resolvers/recursive.py": ["Outcome", "_PendingQuery"],
-    "repro/resolvers/forwarder.py": ["_Forwarded"],
-    "repro/obs/records.py": ["SpanEvent", "MetricsSnapshot"],
-    "repro/defense/rrl.py": ["TokenBucket"],
-    "repro/defense/capacity.py": ["ServiceCapacity"],
-    "repro/defense/pipeline.py": ["DefenseStats"],
-    "repro/attackload/attackers.py": ["AttackLoadStats"],
-}
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
 
-
-def class_has_slots(node: ast.ClassDef) -> bool:
-    for statement in node.body:
-        targets = []
-        if isinstance(statement, ast.Assign):
-            targets = statement.targets
-        elif isinstance(statement, ast.AnnAssign):
-            targets = [statement.target]
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == "__slots__":
-                return True
-    return False
-
-
-def main() -> int:
-    root = pathlib.Path(__file__).resolve().parent.parent / "src"
-    problems = []
-    for relative, class_names in sorted(HOT_RECORD_CLASSES.items()):
-        path = root / relative
-        if not path.is_file():
-            problems.append(f"{relative}: file not found")
-            continue
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        found = {
-            node.name: node
-            for node in ast.walk(tree)
-            if isinstance(node, ast.ClassDef)
-        }
-        for name in class_names:
-            if name not in found:
-                problems.append(f"{relative}: class {name} not found")
-            elif not class_has_slots(found[name]):
-                problems.append(f"{relative}: class {name} has no __slots__")
-
-    if problems:
-        for problem in problems:
-            print(f"lint_slots: {problem}", file=sys.stderr)
-        return 1
-    total = sum(len(names) for names in HOT_RECORD_CLASSES.values())
-    print(f"lint_slots: {total} hot-path record classes all declare __slots__")
-    return 0
+from repro.lint.cli import main  # noqa: E402
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["--rules", "hot-path-slots", *sys.argv[1:]]))

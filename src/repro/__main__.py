@@ -13,6 +13,7 @@ Examples::
     python -m repro report --jobs 4 --cache-dir .repro-cache
     python -m repro sweep --jobs 0 --cache-dir .repro-cache
     python -m repro defense-study --jobs 0 --intensities 2,4,10
+    python -m repro lint --format json
 """
 
 from __future__ import annotations
@@ -351,6 +352,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
 
@@ -508,6 +515,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="callback sites listed (by wall time)",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help=(
+            "run the AST static-analysis suite (determinism, spec "
+            "hygiene, RNG streams, hot-path slots, event-loop safety)"
+        ),
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     report = subparsers.add_parser(
         "report",

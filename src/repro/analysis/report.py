@@ -88,7 +88,9 @@ def build_report(
             trace=trace_path is not None, metrics=metrics_path is not None
         )
 
-    started = time.time()
+    # Real wall-clock on purpose: the report footer tells the operator
+    # how long the battery took; CI diffs exclude the footer line.
+    started = time.time()  # repro-lint: allow[determinism]
     lines: List[str] = []
     out = lines.append
 
@@ -417,7 +419,7 @@ def build_report(
             out(line)
         out("")
 
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # repro-lint: allow[determinism]
     out(f"_Full battery regenerated in {elapsed:.0f} s of wall-clock time._")
     out("")
     return "\n".join(lines)

@@ -40,9 +40,14 @@ from repro.simcore.rng import RandomStreams
 from repro.simcore.simulator import Simulator
 
 
-@dataclass
+@dataclass(frozen=True)
 class TestbedConfig:
-    """Scenario-wide parameters (experiment runners override per run)."""
+    """Scenario-wide parameters (experiment runners override per run).
+
+    Frozen like every spec dataclass: the run's disk-cache key is
+    computed from these fields, so they must not drift after a testbed
+    is built (enforced by the ``spec-hygiene`` lint rule).
+    """
 
     # Not a pytest test class, despite the name.
     __test__ = False

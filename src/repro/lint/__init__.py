@@ -1,0 +1,31 @@
+"""``repro lint`` — AST-based static analysis for reproduction invariants.
+
+The headline guarantees of this reproduction (byte-identical output for
+``jobs=1`` vs ``jobs=N``, disk-cache keys that cover every spec field,
+named RNG streams per subsystem, ``__slots__`` on per-packet records)
+are runtime properties that a single missed line can silently break.
+This package enforces them statically, at CI time:
+
+* :mod:`repro.lint.driver` — single-pass AST visitor driver shared by
+  every checker, with per-line ``# repro-lint: allow[rule]`` pragmas.
+* :mod:`repro.lint.baseline` — a committed baseline of grandfathered
+  findings (shipped empty; new findings always fail).
+* :mod:`repro.lint.checkers` — the five rules: ``determinism``,
+  ``spec-hygiene``, ``rng-streams``, ``hot-path-slots``, ``event-loop``.
+* :mod:`repro.lint.cli` — the ``repro lint`` subcommand (text/JSON).
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.checkers import all_checkers
+from repro.lint.driver import Checker, LintContext, SourceFile, run_checkers
+from repro.lint.findings import Finding
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "Finding",
+    "LintContext",
+    "SourceFile",
+    "all_checkers",
+    "run_checkers",
+]

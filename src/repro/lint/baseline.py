@@ -1,0 +1,98 @@
+"""The committed findings baseline.
+
+The baseline exists so the suite can be adopted on a tree with known,
+consciously-deferred findings without blocking CI — but the policy of
+this repository is to *fix* findings, so the shipped baseline is empty
+and should stay that way. Entries match on ``(rule, file, message)``
+(no line numbers), surviving unrelated edits; a baselined finding that
+disappears from the tree is reported as stale so the file shrinks
+monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for a malformed baseline file."""
+
+
+class Baseline:
+    """A set of grandfathered findings loaded from / saved to JSON."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self.findings: List[Finding] = list(findings)
+
+    def keys(self) -> Set[Tuple[str, str, str]]:
+        return {finding.key() for finding in self.findings}
+
+    def filter(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+        """Split ``findings`` into (new, suppressed); also return the
+        baseline entries no longer present in the tree (stale)."""
+        keys = self.keys()
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        seen: Set[Tuple[str, str, str]] = set()
+        for finding in findings:
+            if finding.key() in keys:
+                suppressed.append(finding)
+                seen.add(finding.key())
+            else:
+                new.append(finding)
+        stale = [
+            entry for entry in self.findings if entry.key() not in seen
+        ]
+        return new, suppressed, stale
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise BaselineError(
+                f"{path}: expected an object with a 'findings' list"
+            )
+        version = payload.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version {version!r}"
+            )
+        return cls(
+            Finding.from_dict(entry) for entry in payload["findings"]
+        )
+
+    def save(self, path: pathlib.Path, comment: str = "") -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": comment
+            or (
+                "Grandfathered repro-lint findings. Policy: fix findings "
+                "instead of adding entries; this file should stay empty."
+            ),
+            "findings": [
+                finding.as_dict()
+                for finding in sorted(
+                    self.findings, key=lambda f: (f.file, f.rule, f.message)
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

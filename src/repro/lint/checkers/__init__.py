@@ -1,0 +1,38 @@
+"""The checker registry.
+
+``all_checkers()`` returns fresh instances (checkers are stateful across
+a run); ``RULES`` maps rule ids to checker classes for ``--rules``
+subsetting and for the docs.
+"""
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.lint.checkers.determinism import DeterminismChecker
+from repro.lint.checkers.eventloop import EventLoopChecker
+from repro.lint.checkers.rng_streams import RngStreamsChecker
+from repro.lint.checkers.slots import HotPathSlotsChecker
+from repro.lint.checkers.spec_hygiene import SpecHygieneChecker
+from repro.lint.driver import Checker
+
+RULES: Dict[str, Type[Checker]] = {
+    DeterminismChecker.rule: DeterminismChecker,
+    SpecHygieneChecker.rule: SpecHygieneChecker,
+    RngStreamsChecker.rule: RngStreamsChecker,
+    HotPathSlotsChecker.rule: HotPathSlotsChecker,
+    EventLoopChecker.rule: EventLoopChecker,
+}
+
+
+def all_checkers(rules: Optional[Sequence[str]] = None) -> List[Checker]:
+    """Instantiate the requested checkers (all five by default)."""
+    if rules is None:
+        selected = list(RULES)
+    else:
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            raise ValueError(
+                f"unknown lint rule(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(RULES))}"
+            )
+        selected = list(rules)
+    return [RULES[rule]() for rule in selected]

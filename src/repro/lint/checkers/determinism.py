@@ -1,0 +1,214 @@
+"""Rule ``determinism`` — no wall clocks, global RNG, or set iteration.
+
+The jobs=1 vs jobs=4 identity and the warm-cache replay guarantee both
+require every run to be a pure function of its request. Three classes of
+leak break that silently:
+
+* **Wall clocks** (``time.time``, ``time.perf_counter``,
+  ``datetime.now``, …): simulation code must read ``sim.now``. The
+  profiler and the report footer measure real elapsed time on purpose —
+  those sites carry inline pragmas.
+* **Global RNG** (module-level ``random.*`` draws, ``os.urandom``,
+  ``uuid.uuid4``, ``secrets``): randomness must come from a named
+  :class:`repro.simcore.rng.RandomStreams` stream.
+* **Set iteration**: hash randomization makes ``for x in {…}`` order
+  vary across interpreter runs; iterate a sorted or insertion-ordered
+  container instead. (Dict iteration is insertion-ordered and fine.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet
+
+from repro.lint.driver import Checker, LintContext, SourceFile
+
+#: module -> attribute names whose *call or aliasing* is nondeterministic.
+WALL_CLOCK_ATTRS: Dict[str, FrozenSet[str]] = {
+    "time": frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    ),
+    "datetime.datetime": frozenset({"now", "utcnow", "today"}),
+    "datetime.date": frozenset({"today"}),
+    "os": frozenset({"urandom", "getrandom"}),
+    "uuid": frozenset({"uuid1", "uuid4"}),
+}
+
+#: ``random.<fn>`` module-level draws (the shared global Mersenne
+#: Twister). ``random.Random`` itself is the rng-streams rule's concern.
+GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "uniform",
+        "expovariate",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "weibullvariate",
+        "vonmisesvariate",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+NONDETERMINISTIC_MODULES = frozenset({"secrets"})
+
+
+def _dotted(node: ast.expr, imports: Dict[str, str]) -> str:
+    """Resolve an attribute chain's base through the import table.
+
+    ``_walltime.perf_counter`` -> ``time.perf_counter`` when the file did
+    ``import time as _walltime``; unresolvable chains return ``""``.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    origin = imports.get(node.id)
+    if origin is None:
+        return ""
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+class DeterminismChecker(Checker):
+    rule = "determinism"
+    node_types = (
+        ast.Attribute,
+        ast.ImportFrom,
+        ast.Import,
+        ast.For,
+        ast.comprehension,
+    )
+
+    def visit(self, ctx: LintContext, file: SourceFile, node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute):
+            self._check_attribute(ctx, file, node)
+        elif isinstance(node, ast.ImportFrom):
+            self._check_import_from(ctx, file, node)
+        elif isinstance(node, ast.Import):
+            self._check_import(ctx, file, node)
+        elif isinstance(node, ast.For):
+            self._check_iteration(ctx, file, node.iter, node.lineno)
+        elif isinstance(node, ast.comprehension):
+            self._check_iteration(
+                ctx, file, node.iter, getattr(node.iter, "lineno", 0)
+            )
+
+    # ------------------------------------------------------------------
+    def _check_attribute(
+        self, ctx: LintContext, file: SourceFile, node: ast.Attribute
+    ) -> None:
+        dotted = _dotted(node, file.imports)
+        if not dotted:
+            return
+        prefix, _, attr = dotted.rpartition(".")
+        wall = WALL_CLOCK_ATTRS.get(prefix)
+        if wall is not None and attr in wall:
+            ctx.report(
+                self.rule,
+                file,
+                node,
+                f"wall-clock/nondeterministic call `{dotted}`; simulation "
+                f"code must derive time from `sim.now` and randomness from "
+                f"named RNG streams",
+            )
+            return
+        if prefix == "random" and attr in GLOBAL_RANDOM_FNS:
+            ctx.report(
+                self.rule,
+                file,
+                node,
+                f"module-level `random.{attr}` draws from the shared global "
+                f"RNG; use a named stream from `repro.simcore.rng`",
+            )
+
+    def _check_import(
+        self, ctx: LintContext, file: SourceFile, node: ast.Import
+    ) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] in NONDETERMINISTIC_MODULES:
+                ctx.report(
+                    self.rule,
+                    file,
+                    node,
+                    f"import of nondeterministic module `{alias.name}`",
+                )
+
+    def _check_import_from(
+        self, ctx: LintContext, file: SourceFile, node: ast.ImportFrom
+    ) -> None:
+        if node.level or node.module is None:
+            return
+        if node.module.split(".")[0] in NONDETERMINISTIC_MODULES:
+            ctx.report(
+                self.rule,
+                file,
+                node,
+                f"import of nondeterministic module `{node.module}`",
+            )
+            return
+        wall = WALL_CLOCK_ATTRS.get(node.module)
+        for alias in node.names:
+            if wall is not None and alias.name in wall:
+                ctx.report(
+                    self.rule,
+                    file,
+                    node,
+                    f"imports wall-clock `{node.module}.{alias.name}` by "
+                    f"name; simulation code must use `sim.now`",
+                )
+            if node.module == "random" and alias.name in GLOBAL_RANDOM_FNS:
+                ctx.report(
+                    self.rule,
+                    file,
+                    node,
+                    f"imports module-level `random.{alias.name}` (shared "
+                    f"global RNG); use a named stream",
+                )
+
+    def _check_iteration(
+        self, ctx: LintContext, file: SourceFile, iter_expr: ast.expr, line: int
+    ) -> None:
+        if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+            ctx.report(
+                self.rule,
+                file,
+                line,
+                "iteration over a set literal/comprehension is hash-order "
+                "dependent; sort it or use a list/dict",
+            )
+        elif (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Name)
+            and iter_expr.func.id in ("set", "frozenset")
+        ):
+            ctx.report(
+                self.rule,
+                file,
+                line,
+                f"iteration over `{iter_expr.func.id}(...)` is hash-order "
+                f"dependent; wrap in `sorted(...)`",
+            )

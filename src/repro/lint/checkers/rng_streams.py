@@ -1,0 +1,67 @@
+"""Rule ``rng-streams`` — randomness flows only through named streams.
+
+:class:`repro.simcore.rng.RandomStreams` derives statistically
+independent ``random.Random`` instances from one master seed, keyed by
+name — the property that lets a new consumer draw randomness without
+perturbing existing streams, keeping committed calibration numbers
+stable across code evolution.
+
+A *freshly-seeded* instance breaks that contract two ways: an unseeded
+``random.Random()`` is OS-entropy nondeterminism, and a
+constant-literal seed (``random.Random(0)``) silently correlates with
+every other component that picked the same constant. Deriving a child
+generator from an existing stream (``random.Random(rng.getrandbits(64))``)
+or from a caller-supplied variable seed is fine — the seed's provenance
+is then the named-stream graph.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.driver import Checker, LintContext, SourceFile
+
+
+def _is_random_random(node: ast.Call, imports) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "Random":
+        base = func.value
+        return (
+            isinstance(base, ast.Name)
+            and imports.get(base.id, "").split(".")[0] == "random"
+        )
+    if isinstance(func, ast.Name):
+        return imports.get(func.id) == "random.Random"
+    return False
+
+
+class RngStreamsChecker(Checker):
+    rule = "rng-streams"
+    node_types = (ast.Call,)
+
+    def visit(self, ctx: LintContext, file: SourceFile, node: ast.AST) -> None:
+        assert isinstance(node, ast.Call)
+        if not _is_random_random(node, file.imports):
+            return
+        if not node.args and not node.keywords:
+            ctx.report(
+                self.rule,
+                file,
+                node,
+                "`random.Random()` with no seed draws OS entropy; use a "
+                "named stream from `repro.simcore.rng.RandomStreams`",
+            )
+        elif (
+            len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Constant)
+        ):
+            ctx.report(
+                self.rule,
+                file,
+                node,
+                f"`random.Random({node.args[0].value!r})` is a "
+                f"constant-seeded instance that can correlate with other "
+                f"components; derive it from a named stream "
+                f"(`streams.stream(name)` or `rng.getrandbits(64)`)",
+            )

@@ -1,0 +1,322 @@
+"""Rule ``spec-hygiene`` — every spec field reaches the disk-cache key.
+
+The content-addressed result cache is only sound if a run's key covers
+*everything* that determines its output. Spec dataclasses are that
+contract, so this rule enforces, structurally:
+
+1. Every class in a ``*/spec.py`` module (plus ``TestbedConfig`` and
+   ``ObsSpec``, the two spec-shaped classes living elsewhere) is a
+   ``@dataclass(frozen=True)`` — mutable specs can drift after the key
+   is computed.
+2. Class-body assignments are *annotated*. A bare ``name = value`` is a
+   class attribute, not a dataclass field: it silently skips
+   ``__init__``, ``dataclasses.fields`` and therefore the cache key.
+   (Dunder names like ``__test__`` are exempt.) ``ClassVar`` fields are
+   flagged for the same reason.
+3. No field opts out of comparison (``field(compare=False)`` /
+   ``hash=False``) — the canonical encoder walks ``dataclasses.fields``,
+   and an opted-out field is a red flag that someone intends to hide it.
+4. The key builder (``repro/runner/cache.py::_canonical``) still
+   enumerates ``dataclasses.fields(value)`` generically, with no filter
+   — so field coverage cannot be narrowed in one place while specs grow
+   in another.
+5. Every spec class is *reachable* from ``RunRequest`` or
+   ``TestbedConfig`` field annotations; an orphaned spec never makes it
+   into any key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.driver import Checker, LintContext, SourceFile
+
+#: Spec-shaped classes living outside a ``spec.py`` module:
+#: (file suffix, class name).
+EXTRA_SPEC_CLASSES: Tuple[Tuple[str, str], ...] = (
+    ("core/testbed.py", "TestbedConfig"),
+    ("obs/config.py", "ObsSpec"),
+)
+
+#: Anchor files for the reachability and key-builder checks.
+KEY_BUILDER_SUFFIX = "runner/cache.py"
+REQUEST_SUFFIX = "runner/executor.py"
+
+#: Classes exempt from the reachability requirement (they are the
+#: wiring *targets* the requests get expanded into, not riders).
+REACHABILITY_EXEMPT = frozenset({"TestbedConfig"})
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _dataclass_decorator(node: ast.ClassDef):
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator node, if any."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen" and isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute):
+        return target.attr == "ClassVar"
+    return isinstance(target, ast.Name) and target.id == "ClassVar"
+
+
+class SpecHygieneChecker(Checker):
+    rule = "spec-hygiene"
+    node_types = (ast.ClassDef,)
+
+    def __init__(self) -> None:
+        #: spec class name -> (file, ClassDef) for finalize checks.
+        self._spec_classes: Dict[str, Tuple[SourceFile, ast.ClassDef]] = {}
+
+    # ------------------------------------------------------------------
+    def _in_scope(self, file: SourceFile, node: ast.ClassDef) -> bool:
+        rel = file.rel
+        if rel.endswith("/spec.py") or rel == "spec.py":
+            return True
+        return any(
+            rel.endswith(suffix) and node.name == class_name
+            for suffix, class_name in EXTRA_SPEC_CLASSES
+        )
+
+    def visit(self, ctx: LintContext, file: SourceFile, node: ast.AST) -> None:
+        assert isinstance(node, ast.ClassDef)
+        if not self._in_scope(file, node):
+            return
+        self._spec_classes[node.name] = (file, node)
+        decorator = _dataclass_decorator(node)
+        if decorator is None:
+            ctx.report(
+                self.rule,
+                file,
+                node,
+                f"spec class `{node.name}` is not a dataclass; the cache "
+                f"key builder only sees `dataclasses.fields`",
+            )
+        elif not _is_frozen(decorator):
+            ctx.report(
+                self.rule,
+                file,
+                node,
+                f"spec class `{node.name}` must be `@dataclass(frozen=True)` "
+                f"so it cannot drift after its cache key is computed",
+            )
+        for statement in node.body:
+            self._check_statement(ctx, file, node, statement)
+
+    def _check_statement(
+        self,
+        ctx: LintContext,
+        file: SourceFile,
+        node: ast.ClassDef,
+        statement: ast.stmt,
+    ) -> None:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and not _is_dunder(target.id):
+                    ctx.report(
+                        self.rule,
+                        file,
+                        statement,
+                        f"`{node.name}.{target.id}` has no annotation, so it "
+                        f"is a class attribute, not a dataclass field — it "
+                        f"skips __init__ and the disk-cache key",
+                    )
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name) and _is_classvar(
+                statement.annotation
+            ):
+                ctx.report(
+                    self.rule,
+                    file,
+                    statement,
+                    f"`{node.name}.{statement.target.id}` is a ClassVar; "
+                    f"ClassVars are excluded from `dataclasses.fields` and "
+                    f"therefore from the cache key",
+                )
+            if statement.value is not None and isinstance(
+                statement.value, ast.Call
+            ):
+                self._check_field_call(ctx, file, node, statement)
+
+    def _check_field_call(
+        self,
+        ctx: LintContext,
+        file: SourceFile,
+        node: ast.ClassDef,
+        statement: ast.AnnAssign,
+    ) -> None:
+        call = statement.value
+        assert isinstance(call, ast.Call)
+        func = call.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name != "field":
+            return
+        field_name = (
+            statement.target.id
+            if isinstance(statement.target, ast.Name)
+            else "?"
+        )
+        for keyword in call.keywords:
+            if (
+                keyword.arg in ("compare", "hash")
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                ctx.report(
+                    self.rule,
+                    file,
+                    statement,
+                    f"`{node.name}.{field_name}` opts out of comparison "
+                    f"(`{keyword.arg}=False`); spec fields must stay fully "
+                    f"comparable so cache keys cover them",
+                )
+
+    # ------------------------------------------------------------------
+    # Cross-file checks.
+    # ------------------------------------------------------------------
+    def finalize(self, ctx: LintContext) -> None:
+        self._check_key_builder(ctx)
+        self._check_reachability(ctx)
+
+    def _check_key_builder(self, ctx: LintContext) -> None:
+        candidates = ctx.files_matching(KEY_BUILDER_SUFFIX)
+        if not candidates:
+            return
+        file = candidates[0]
+        canonical = None
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.FunctionDef) and node.name == "_canonical":
+                canonical = node
+                break
+        if canonical is None:
+            ctx.report(
+                self.rule,
+                file,
+                1,
+                "cache key builder `_canonical` is missing; nothing "
+                "guarantees spec fields reach the disk-cache key",
+            )
+            return
+        fields_iters = [
+            node
+            for node in ast.walk(canonical)
+            if isinstance(node, ast.Call)
+            and (
+                (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "fields"
+                )
+                or (
+                    isinstance(node.func, ast.Name) and node.func.id == "fields"
+                )
+            )
+        ]
+        if not fields_iters:
+            ctx.report(
+                self.rule,
+                file,
+                canonical,
+                "`_canonical` no longer enumerates `dataclasses.fields(...)`;"
+                " spec fields are not guaranteed to reach the cache key",
+            )
+            return
+        fields_ids = {id(call) for call in fields_iters}
+        for node in ast.walk(canonical):
+            if isinstance(
+                node, (ast.DictComp, ast.ListComp, ast.SetComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    if id(generator.iter) in fields_ids and generator.ifs:
+                        ctx.report(
+                            self.rule,
+                            file,
+                            node,
+                            "`_canonical` filters `dataclasses.fields(...)`; "
+                            "every spec field must participate in the cache "
+                            "key unconditionally",
+                        )
+            elif isinstance(node, ast.For) and id(node.iter) in fields_ids:
+                for statement in ast.walk(node):
+                    if isinstance(statement, (ast.Continue, ast.Break)):
+                        ctx.report(
+                            self.rule,
+                            file,
+                            node,
+                            "`_canonical` skips some `dataclasses.fields`; "
+                            "every spec field must participate in the cache "
+                            "key unconditionally",
+                        )
+                        break
+
+    def _annotation_names(self, class_node: ast.ClassDef) -> Set[str]:
+        names: Set[str] = set()
+        for statement in class_node.body:
+            if isinstance(statement, ast.AnnAssign):
+                for node in ast.walk(statement.annotation):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+                    elif isinstance(node, ast.Constant) and isinstance(
+                        node.value, str
+                    ):
+                        names.add(node.value.strip("'\" "))
+        return names
+
+    def _check_reachability(self, ctx: LintContext) -> None:
+        anchors: List[ast.ClassDef] = []
+        for suffix, class_name in (
+            (REQUEST_SUFFIX, "RunRequest"),
+            ("core/testbed.py", "TestbedConfig"),
+        ):
+            for file in ctx.files_matching(suffix):
+                for node in ast.walk(file.tree):
+                    if (
+                        isinstance(node, ast.ClassDef)
+                        and node.name == class_name
+                    ):
+                        anchors.append(node)
+        if not anchors:
+            return  # fixture runs without the anchor files
+        reachable: Set[str] = set()
+        for anchor in anchors:
+            reachable |= self._annotation_names(anchor)
+        for name, (file, node) in sorted(self._spec_classes.items()):
+            if name in REACHABILITY_EXEMPT or name in reachable:
+                continue
+            ctx.report(
+                self.rule,
+                file,
+                node,
+                f"spec class `{name}` is not referenced by any RunRequest/"
+                f"TestbedConfig field annotation, so its fields never reach "
+                f"the disk-cache key",
+            )

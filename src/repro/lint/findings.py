@@ -1,0 +1,58 @@
+"""The ``Finding`` record every checker emits.
+
+A finding is identified for baseline purposes by ``(rule, file, message)``
+— deliberately *not* by line number, so unrelated edits above a
+grandfathered finding do not resurrect it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    file: str  # path relative to the source root, POSIX separators
+    line: int
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line drift."""
+        return (self.rule, self.file, self.message)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(
+            rule=str(payload["rule"]),
+            file=str(payload["file"]),
+            line=int(payload.get("line", 0)),  # type: ignore[arg-type]
+            message=str(payload["message"]),
+        )
+
+
+def sort_findings(findings) -> list:
+    """Deterministic presentation order: file, line, rule, message."""
+    return sorted(
+        findings,
+        key=lambda finding: (
+            finding.file,
+            finding.line,
+            finding.rule,
+            finding.message,
+        ),
+    )

@@ -1,0 +1,51 @@
+"""Per-line suppression pragmas.
+
+Syntax, anywhere in a comment::
+
+    something_noisy()  # repro-lint: allow[determinism]
+    # repro-lint: allow[hot-path-slots,event-loop]   (standalone form)
+    wall = time.time()
+
+The same-line form suppresses findings reported on that line. The
+standalone form (a line holding nothing but the comment) also covers the
+*next* line, so pragmas survive formatters that refuse long lines.
+``allow[*]`` suppresses every rule — reserve it for generated code.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*allow\[([^\]]*)\]")
+
+_ALL = frozenset(["*"])
+
+
+def parse_pragmas(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule names allowed on them."""
+    allowed: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            rule.strip() for rule in match.group(1).split(",") if rule.strip()
+        )
+        if not rules:
+            continue
+        allowed[lineno] = allowed.get(lineno, frozenset()) | rules
+        # Standalone pragma comment: extend coverage to the next line.
+        if text.lstrip().startswith("#"):
+            allowed[lineno + 1] = allowed.get(lineno + 1, frozenset()) | rules
+    return allowed
+
+
+def allows(
+    pragmas: Dict[int, FrozenSet[str]], line: int, rule: str
+) -> bool:
+    """True when a pragma on ``line`` suppresses ``rule``."""
+    rules = pragmas.get(line)
+    if rules is None:
+        return False
+    return rule in rules or "*" in rules

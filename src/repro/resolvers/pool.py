@@ -56,7 +56,14 @@ class PublicResolverPool(Host):
     ) -> None:
         super().__init__(sim, network, address, name=name)
         self.config = config or PoolConfig()
-        self._rng = rng or random.Random(0)
+        if rng is None:
+            # Test-only fallback (see RecursiveResolver): derived from a
+            # named stream keyed by the ingress address so rng-less pools
+            # stay deterministic without correlating with each other.
+            from repro.simcore.rng import RandomStreams
+
+            rng = RandomStreams(0).stream(f"pool:{address}")
+        self._rng = rng
         self.backends: List[RecursiveResolver] = []
         for index, backend_address in enumerate(backend_addresses):
             backend_config = (

@@ -157,9 +157,14 @@ class RecursiveResolver(Host):
         self.cache = DnsCache(self.config.cache)
         self.negcache = NegativeCache()
         if rng is None:
-            import random as _random
+            # Test-only fallback: real wiring (build_population) always
+            # passes a stream-derived rng. Deriving from a named stream
+            # keyed by address keeps rng-less resolvers deterministic
+            # *and* mutually independent, where a shared Random(0) would
+            # correlate every one of them.
+            from repro.simcore.rng import RandomStreams
 
-            rng = _random.Random(0)
+            rng = RandomStreams(0).stream(f"resolver:{address}")
         self.selector = ServerSelector(rng)
         self._tasks: Dict[Tuple[Name, RRType], _ResolutionTask] = {}
         self._pending: Dict[int, _PendingQuery] = {}
@@ -475,6 +480,36 @@ class RecursiveResolver(Host):
 
 class _ResolutionTask:
     """State machine for resolving one (qname, qtype)."""
+
+    __slots__ = (
+        "r",
+        "qname",
+        "qtype",
+        "depth",
+        "require_authoritative",
+        "skip_cache",
+        "registry_key",
+        "callbacks",
+        "done",
+        "trace_id",
+        "sends",
+        "first_step",
+        "started_at",
+        "deadline",
+        "hard_deadline",
+        "cname_depth",
+        "pending_ids",
+        "current_cut",
+        "round_servers",
+        "round_attempt",
+        "round_budget",
+        "round_active",
+        "requeried_cuts",
+        "skip_cut_once",
+        "subresolutions",
+        "sub_failures",
+        "sub_targets_tried",
+    )
 
     def __init__(
         self,

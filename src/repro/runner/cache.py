@@ -23,7 +23,7 @@ import os
 import pathlib
 import pickle
 import tempfile
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 import repro
 
@@ -86,7 +86,9 @@ def cache_key(request: Any) -> str:
 class DiskCache:
     """Pickle store addressed by :func:`cache_key` digests."""
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(
+        self, root: Union[str, "os.PathLike[str]", None] = None
+    ) -> None:
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0

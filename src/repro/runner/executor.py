@@ -14,7 +14,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.attackload import AttackLoadSpec
 from repro.clients.population import PopulationConfig
@@ -65,7 +65,7 @@ class RunRequest:
     attack_load: Optional[AttackLoadSpec] = None
     defense: Optional[DefenseSpec] = None
 
-    def option_kwargs(self) -> dict:
+    def option_kwargs(self) -> Dict[str, Any]:
         return dict(self.options)
 
 
@@ -143,7 +143,7 @@ def probe_case_request(seed: int = 11, **options: Any) -> RunRequest:
     )
 
 
-def execute_request(request: RunRequest):
+def execute_request(request: RunRequest) -> Any:
     """Run one request to completion and return the detached result.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
@@ -224,8 +224,9 @@ def run_many(
     keys: List[Optional[str]] = [None] * len(requests)
     for index, request in enumerate(requests):
         if cache is not None:
-            keys[index] = cache_key(request)
-            hit = cache.get(keys[index])
+            key = cache_key(request)
+            keys[index] = key
+            hit = cache.get(key)
             if hit is not None:
                 results[index] = hit
                 continue
@@ -246,6 +247,8 @@ def run_many(
                     results[index] = future.result()
         if cache is not None:
             for index in pending:
-                cache.put(keys[index], results[index])
+                pending_key = keys[index]
+                assert pending_key is not None  # set during the scan above
+                cache.put(pending_key, results[index])
 
     return results

@@ -13,7 +13,7 @@ captures those and stands in for the testbed on detached results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.experiments.ddos import DDoSResult
 from repro.dnscore.name import Name
@@ -39,16 +39,16 @@ class TestbedSnapshot:
     origin: Name
     test_ns_names: List[Name]
     offered_query_log: QueryLog
-    spans: List = field(default_factory=list, repr=False)
-    metric_snapshots: List = field(default_factory=list, repr=False)
-    profile: Optional[dict] = field(default=None, repr=False)
+    spans: List[Any] = field(default_factory=list, repr=False)
+    metric_snapshots: List[Any] = field(default_factory=list, repr=False)
+    profile: Optional[Dict[str, Any]] = field(default=None, repr=False)
     # Defense/attack counter dicts (None when those subsystems are off),
     # mirroring the live testbed's properties of the same names.
-    defense_stats: Optional[dict] = field(default=None, repr=False)
-    attack_stats: Optional[dict] = field(default=None, repr=False)
+    defense_stats: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    attack_stats: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     @classmethod
-    def from_testbed(cls, testbed) -> "TestbedSnapshot":
+    def from_testbed(cls, testbed: Any) -> "TestbedSnapshot":
         return cls(
             origin=testbed.origin,
             test_ns_names=list(testbed.test_ns_names),
@@ -62,11 +62,11 @@ class TestbedSnapshot:
 
     # Match the live testbed's accessor so consumers need not care which
     # shape they hold.
-    def profile_summary(self) -> Optional[dict]:
+    def profile_summary(self) -> Optional[Dict[str, Any]]:
         return self.profile
 
 
-def detach_result(result):
+def detach_result(result: Any) -> Any:
     """Return a picklable equivalent of an experiment result.
 
     DDoS results have their testbed replaced by a

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class Event:
@@ -33,7 +33,7 @@ class Event:
         time: float,
         seq: int,
         callback: Callable[..., Any],
-        args: tuple = (),
+        args: Tuple[Any, ...] = (),
         queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
@@ -41,7 +41,8 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
-        self.span = None  # optional (tracer, trace_id, site) set by traced timers
+        # Optional (tracer, trace_id, site) set by traced timers.
+        self.span: Optional[Tuple[Any, Any, Any]] = None
         self._queue = queue
 
     def cancel(self) -> None:
@@ -87,14 +88,19 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list = []  # (time, seq, Event) tuples
+        self._heap: List[Tuple[float, int, "Event"]] = []
         self._counter = itertools.count()
         self._live = 0
 
     def __len__(self) -> int:
         return self._live
 
-    def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time``."""
         seq = next(self._counter)
         event = Event(time, seq, callback, args, queue=self)

@@ -14,7 +14,7 @@ periodic probing, query/timeout races, and staged retries.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.simcore.simulator import Simulator
 
@@ -46,7 +46,7 @@ class Signal:
         self.sim = sim
         self.fired = False
         self.value: Any = None
-        self._waiters: list = []
+        self._waiters: List[Callable[[Any], None]] = []
 
     def fire(self, value: Any = None) -> None:
         """Fire the signal, waking all waiters in FIFO order."""
@@ -60,14 +60,14 @@ class Signal:
             # same-instant events stays deterministic.
             self.sim.call_later(0.0, waiter, value)
 
-    def add_waiter(self, callback) -> None:
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
         """Register ``callback(value)`` to run when the signal fires."""
         if self.fired:
             self.sim.call_later(0.0, callback, self.value)
         else:
             self._waiters.append(callback)
 
-    def remove_waiter(self, callback) -> None:
+    def remove_waiter(self, callback: Callable[[Any], None]) -> None:
         """Deregister a waiter; no-op if absent or already fired."""
         try:
             self._waiters.remove(callback)
@@ -132,17 +132,18 @@ class Process:
             raise TypeError(f"process {self.name!r} yielded {command!r}")
 
     def _arm_race(self, commands: Iterable[Any]) -> None:
-        state = {"settled": False, "cleanups": []}
+        settled = False
+        cleanups: List[Callable[[], None]] = []
 
         def settle(index: int, value: Any) -> None:
-            if state["settled"]:
+            nonlocal settled
+            if settled:
                 return
-            state["settled"] = True
-            for cleanup in state["cleanups"]:
+            settled = True
+            for cleanup in cleanups:
                 cleanup()
             self._advance((index, value))
 
-        cleanups: List = state["cleanups"]
         for index, command in enumerate(commands):
             if isinstance(command, Timeout):
                 event = self.sim.call_later(
@@ -154,11 +155,14 @@ class Process:
                     settle(index, value)
 
                 command.add_waiter(waiter)
-                cleanups.append(
-                    lambda command=command, waiter=waiter: command.remove_waiter(
-                        waiter
-                    )
-                )
+
+                def forget(
+                    command: Signal = command,
+                    waiter: Callable[[Any], None] = waiter,
+                ) -> None:
+                    command.remove_waiter(waiter)
+
+                cleanups.append(forget)
             else:
                 raise TypeError(
                     f"AnyOf in process {self.name!r} got {command!r}"

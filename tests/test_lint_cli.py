@@ -1,0 +1,123 @@
+"""CLI-level tests for ``repro lint``: exit codes, formats, baseline
+flow, and the real source tree staying clean."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+from repro.lint.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+DIRTY = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    def stamp(sim):
+        return sim.now
+    """
+)
+
+
+def write(tmp_path, source):
+    path = tmp_path / "fixture.py"
+    path.write_text(source)
+    return path
+
+
+def test_findings_exit_1(tmp_path, capsys):
+    path = write(tmp_path, DIRTY)
+    assert main([str(path), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "[determinism]" in out
+    assert "1 finding(s)" in out
+
+
+def test_clean_exit_0(tmp_path, capsys):
+    path = write(tmp_path, CLEAN)
+    assert main([str(path), "--no-baseline"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_unknown_rule_exit_2(tmp_path):
+    path = write(tmp_path, CLEAN)
+    assert main([str(path), "--rules", "no-such-rule"]) == 2
+
+
+def test_rules_subset(tmp_path):
+    # The determinism finding is invisible when only the slots rule runs.
+    path = write(tmp_path, DIRTY)
+    assert main([str(path), "--no-baseline", "--rules", "hot-path-slots"]) == 0
+
+
+def test_json_format(tmp_path, capsys):
+    path = write(tmp_path, DIRTY)
+    assert main([str(path), "--no-baseline", "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["checked_files"] == 1
+    assert len(report["findings"]) == 1
+    assert report["findings"][0]["rule"] == "determinism"
+    assert report["stale_baseline_entries"] == []
+
+
+def test_output_written_even_on_failure(tmp_path):
+    path = write(tmp_path, DIRTY)
+    out_path = tmp_path / "report.json"
+    assert main([str(path), "--no-baseline", "--output", str(out_path)]) == 1
+    report = json.loads(out_path.read_text())
+    assert len(report["findings"]) == 1
+
+
+def test_baseline_flow(tmp_path, capsys):
+    """Grandfather a finding, pass, fix it, then fail on the stale entry."""
+    path = write(tmp_path, DIRTY)
+    baseline = tmp_path / "baseline.json"
+
+    assert main([str(path), "--baseline", str(baseline), "--write-baseline"]) == 0
+    capsys.readouterr()
+
+    # Baselined finding no longer fails the run.
+    assert main([str(path), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # Fixing the finding makes the baseline entry stale -> exit 1 so the
+    # file shrinks monotonically.
+    path.write_text(CLEAN)
+    assert main([str(path), "--baseline", str(baseline)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_real_tree_is_clean():
+    """The shipped source tree lints clean against the shipped baseline.
+
+    This is the guarantee CI enforces; keeping it in the unit suite means
+    a violating patch fails fast locally too.
+    """
+    assert main([]) == 0
+
+
+def test_module_entry_point():
+    """``python -m repro lint`` (the canonical invocation) exits 0."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

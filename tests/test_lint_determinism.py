@@ -1,0 +1,102 @@
+"""Fixture-snippet tests for the ``determinism`` lint rule."""
+
+import textwrap
+
+from repro.lint import all_checkers, run_checkers
+from repro.lint.driver import parse_source
+
+
+def lint(source, rel="repro/sample.py"):
+    file = parse_source(textwrap.dedent(source), rel)
+    return run_checkers([file], all_checkers(["determinism"])).findings
+
+
+def test_wall_clock_call_flagged():
+    findings = lint(
+        """
+        import time
+
+        def elapsed():
+            return time.time()
+        """
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "determinism"
+    assert "time.time" in findings[0].message
+
+
+def test_aliased_import_resolved():
+    # ``import time as _walltime`` must not hide the wall clock, even
+    # when the attribute is aliased to a local rather than called.
+    findings = lint(
+        """
+        import time as _walltime
+
+        perf = _walltime.perf_counter
+        """
+    )
+    assert len(findings) == 1
+    assert "time.perf_counter" in findings[0].message
+
+
+def test_from_import_of_wall_clock_flagged():
+    findings = lint("from time import perf_counter\n")
+    assert len(findings) == 1
+    assert "perf_counter" in findings[0].message
+
+
+def test_datetime_now_flagged():
+    findings = lint(
+        """
+        from datetime import datetime
+
+        stamp = datetime.now()
+        """
+    )
+    assert len(findings) == 1
+    assert "datetime.datetime.now" in findings[0].message
+
+
+def test_global_random_draw_flagged():
+    findings = lint(
+        """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+    )
+    assert len(findings) == 1
+    assert "shared global" in findings[0].message
+
+
+def test_secrets_import_flagged():
+    findings = lint("import secrets\n")
+    assert len(findings) == 1
+    assert "secrets" in findings[0].message
+
+
+def test_set_iteration_flagged():
+    findings = lint(
+        """
+        def fan_out(items):
+            for item in {1, 2, 3}:
+                yield item
+            return [x for x in set(items)]
+        """
+    )
+    assert len(findings) == 2
+    assert all("hash-order" in finding.message for finding in findings)
+
+
+def test_clean_simulation_code_passes():
+    findings = lint(
+        """
+        def schedule(sim, rng, items):
+            now = sim.now
+            delay = rng.expovariate(1.0)
+            for item in sorted(set(items)):
+                sim.call_later(delay, print, item, now)
+        """
+    )
+    assert findings == []

@@ -1,0 +1,135 @@
+"""Pragma parsing/suppression and baseline round-trip tests."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, Finding, all_checkers, run_checkers
+from repro.lint.baseline import BaselineError
+from repro.lint.driver import parse_source
+from repro.lint.pragmas import allows, parse_pragmas
+
+
+def run(source, rules):
+    file = parse_source(textwrap.dedent(source), "repro/sample.py")
+    return run_checkers([file], all_checkers(rules))
+
+
+# ----------------------------------------------------------------------
+# Pragma parsing
+# ----------------------------------------------------------------------
+def test_parse_same_line_pragma():
+    pragmas = parse_pragmas("x = 1  # repro-lint: allow[determinism]\n")
+    assert allows(pragmas, 1, "determinism")
+    assert not allows(pragmas, 1, "event-loop")
+    assert not allows(pragmas, 2, "determinism")
+
+
+def test_standalone_pragma_covers_next_line():
+    pragmas = parse_pragmas(
+        "# repro-lint: allow[determinism,rng-streams]\nx = 1\n"
+    )
+    assert allows(pragmas, 2, "determinism")
+    assert allows(pragmas, 2, "rng-streams")
+
+
+def test_wildcard_pragma():
+    pragmas = parse_pragmas("x = 1  # repro-lint: allow[*]\n")
+    assert allows(pragmas, 1, "anything-at-all")
+
+
+# ----------------------------------------------------------------------
+# End-to-end suppression through the driver
+# ----------------------------------------------------------------------
+def test_same_line_pragma_suppresses_finding():
+    ctx = run(
+        """
+        import time
+
+        started = time.time()  # repro-lint: allow[determinism]
+        """,
+        ["determinism"],
+    )
+    assert ctx.findings == []
+    assert ctx.suppressed_count == 1
+
+
+def test_standalone_pragma_suppresses_finding():
+    ctx = run(
+        """
+        import time
+
+        # repro-lint: allow[determinism]
+        started = time.time()
+        """,
+        ["determinism"],
+    )
+    assert ctx.findings == []
+    assert ctx.suppressed_count == 1
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    ctx = run(
+        """
+        import time
+
+        started = time.time()  # repro-lint: allow[event-loop]
+        """,
+        ["determinism"],
+    )
+    assert len(ctx.findings) == 1
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(tmp_path):
+    findings = [
+        Finding("determinism", "repro/a.py", 10, "wall clock"),
+        Finding("event-loop", "repro/b.py", 3, "heap poke"),
+    ]
+    path = tmp_path / "baseline.json"
+    Baseline(findings).save(path)
+    loaded = Baseline.load(path)
+    assert loaded.keys() == {f.key() for f in findings}
+
+
+def test_baseline_matches_on_message_not_line(tmp_path):
+    # Unrelated edits shift line numbers; the baseline must keep
+    # matching on (rule, file, message).
+    path = tmp_path / "baseline.json"
+    Baseline([Finding("determinism", "repro/a.py", 10, "wall clock")]).save(
+        path
+    )
+    drifted = Finding("determinism", "repro/a.py", 99, "wall clock")
+    new, suppressed, stale = Baseline.load(path).filter([drifted])
+    assert new == []
+    assert suppressed == [drifted]
+    assert stale == []
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline([Finding("determinism", "repro/gone.py", 1, "fixed")]).save(path)
+    new, suppressed, stale = Baseline.load(path).filter([])
+    assert new == []
+    assert suppressed == []
+    assert len(stale) == 1
+    assert stale[0].file == "repro/gone.py"
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "does-not-exist.json")
+    assert baseline.findings == []
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("[]")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+def test_finding_dict_round_trip():
+    finding = Finding("rng-streams", "repro/x.py", 7, "constant seed")
+    assert Finding.from_dict(finding.as_dict()) == finding

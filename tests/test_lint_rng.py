@@ -1,0 +1,88 @@
+"""Fixture-snippet tests for the ``rng-streams`` lint rule."""
+
+import textwrap
+
+from repro.lint import all_checkers, run_checkers
+from repro.lint.driver import parse_source
+
+
+def lint(source, rel="repro/sample.py"):
+    file = parse_source(textwrap.dedent(source), rel)
+    return run_checkers([file], all_checkers(["rng-streams"])).findings
+
+
+def test_unseeded_random_flagged():
+    findings = lint(
+        """
+        import random
+
+        rng = random.Random()
+        """
+    )
+    assert len(findings) == 1
+    assert "OS entropy" in findings[0].message
+
+
+def test_constant_seed_flagged():
+    findings = lint(
+        """
+        import random
+
+        rng = random.Random(0)
+        """
+    )
+    assert len(findings) == 1
+    assert "constant-seeded" in findings[0].message
+
+
+def test_from_import_resolved():
+    findings = lint(
+        """
+        from random import Random
+
+        rng = Random(42)
+        """
+    )
+    assert len(findings) == 1
+
+
+def test_variable_seed_allowed():
+    # Deriving a child generator from a caller-supplied seed or an
+    # existing stream keeps provenance in the named-stream graph.
+    findings = lint(
+        """
+        import random
+
+        def derive(seed, rng):
+            a = random.Random(seed)
+            b = random.Random(rng.getrandbits(64))
+            return a, b
+        """
+    )
+    assert findings == []
+
+
+def test_named_streams_allowed():
+    findings = lint(
+        """
+        from repro.simcore.rng import RandomStreams
+
+        def build(master_seed):
+            streams = RandomStreams(master_seed)
+            return streams.stream("resolver:a")
+        """
+    )
+    assert findings == []
+
+
+def test_unrelated_random_class_not_flagged():
+    # A locally-defined ``Random`` is not ``random.Random``.
+    findings = lint(
+        """
+        class Random:
+            pass
+
+        rng = Random()
+        """
+    )
+    assert findings == []

@@ -1,0 +1,183 @@
+"""Fixture-snippet tests for the ``hot-path-slots`` lint rule."""
+
+import textwrap
+
+from repro.lint import all_checkers, run_checkers
+from repro.lint.driver import parse_source
+
+
+def lint(sources):
+    files = [
+        parse_source(textwrap.dedent(source), rel)
+        for rel, source in sources.items()
+    ]
+    return run_checkers(files, all_checkers(["hot-path-slots"])).findings
+
+
+def test_unslotted_class_on_callback_path_flagged():
+    findings = lint(
+        {
+            "repro/servers/fixture.py": """
+            class Packet:
+                def __init__(self):
+                    self.payload = b""
+
+
+            class Host:
+                def __init__(self, sim):
+                    sim.call_later(0.0, self.on_tick)
+
+                def on_tick(self):
+                    return Packet()
+            """
+        }
+    )
+    assert len(findings) == 1
+    assert "Packet" in findings[0].message
+    assert "__slots__" in findings[0].message
+    # Reported at the class definition site.
+    assert findings[0].line == 2
+
+
+def test_slots_and_dataclass_slots_pass():
+    findings = lint(
+        {
+            "repro/servers/fixture.py": """
+            from dataclasses import dataclass
+
+
+            class Packet:
+                __slots__ = ("payload",)
+
+                def __init__(self):
+                    self.payload = b""
+
+
+            @dataclass(slots=True)
+            class Reply:
+                code: int = 0
+
+
+            class Host:
+                def __init__(self, sim):
+                    sim.call_later(0.0, self.on_tick)
+
+                def on_tick(self):
+                    return Packet(), Reply()
+            """
+        }
+    )
+    assert findings == []
+
+
+def test_exceptions_exempt():
+    findings = lint(
+        {
+            "repro/servers/fixture.py": """
+            class DropError(ValueError):
+                pass
+
+
+            class Host:
+                def __init__(self, sim):
+                    sim.call_later(0.0, self.on_tick)
+
+                def on_tick(self):
+                    raise DropError()
+            """
+        }
+    )
+    assert findings == []
+
+
+def test_subclass_override_in_other_module_is_hot():
+    # Host.__init__ registers self.on_packet once; a subclass override
+    # defined in a *different module* inherits the hot-path obligation.
+    findings = lint(
+        {
+            "repro/core/host.py": """
+            class Host:
+                def __init__(self, sim):
+                    sim.call_later(0.0, self.on_packet)
+
+                def on_packet(self):
+                    pass
+            """,
+            "repro/servers/auth.py": """
+            class Record:
+                def __init__(self):
+                    self.value = 0
+
+
+            class AuthServer:
+                def on_packet(self):
+                    return Record()
+            """,
+        }
+    )
+    assert len(findings) == 1
+    assert findings[0].file == "repro/servers/auth.py"
+    assert "Record" in findings[0].message
+
+
+def test_helper_called_from_callback_is_hot():
+    findings = lint(
+        {
+            "repro/servers/fixture.py": """
+            class Entry:
+                def __init__(self):
+                    self.hits = 0
+
+
+            class Cache:
+                def __init__(self, sim):
+                    sim.call_later(0.0, self.on_query)
+
+                def on_query(self):
+                    self._record()
+
+                def _record(self):
+                    return Entry()
+            """
+        }
+    )
+    assert len(findings) == 1
+    assert "Entry" in findings[0].message
+
+
+def test_cold_instantiation_not_flagged():
+    # Same unslotted class, but nothing registers a callback, so there
+    # is no hot path and no obligation.
+    findings = lint(
+        {
+            "repro/servers/fixture.py": """
+            class Summary:
+                def __init__(self):
+                    self.rows = []
+
+
+            def build_report():
+                return Summary()
+            """
+        }
+    )
+    assert findings == []
+
+
+def test_pragma_on_class_line_suppresses():
+    ctx_sources = {
+        "repro/servers/fixture.py": """
+        class Scratch:  # repro-lint: allow[hot-path-slots]
+            def __init__(self):
+                self.data = {}
+
+
+        class Host:
+            def __init__(self, sim):
+                sim.call_later(0.0, self.on_tick)
+
+            def on_tick(self):
+                return Scratch()
+        """
+    }
+    assert lint(ctx_sources) == []

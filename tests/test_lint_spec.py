@@ -1,0 +1,238 @@
+"""Fixture-snippet tests for the ``spec-hygiene`` lint rule.
+
+These exercise exactly the escape hatches the rule exists to close: a
+spec field can silently drop out of the disk-cache key by (a) losing its
+annotation, (b) becoming a ClassVar, (c) opting out of comparison, or
+(d) the key builder filtering ``dataclasses.fields``; and a whole spec
+class drops out when no RunRequest/TestbedConfig annotation references
+it.
+"""
+
+import textwrap
+
+from repro.lint import all_checkers, run_checkers
+from repro.lint.driver import parse_source
+
+
+def lint(sources):
+    """``sources`` maps rel path -> snippet; returns findings."""
+    files = [
+        parse_source(textwrap.dedent(source), rel)
+        for rel, source in sources.items()
+    ]
+    return run_checkers(files, all_checkers(["spec-hygiene"])).findings
+
+
+CLEAN_SPEC = """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    rate: float = 1.0
+    duration: float = 300.0
+"""
+
+
+def test_clean_frozen_spec_passes():
+    assert lint({"repro/foo/spec.py": CLEAN_SPEC}) == []
+
+
+def test_non_dataclass_spec_flagged():
+    findings = lint(
+        {
+            "repro/foo/spec.py": """
+            class LooseSpec:
+                rate = 1.0
+            """
+        }
+    )
+    assert any("not a dataclass" in f.message for f in findings)
+
+
+def test_unfrozen_dataclass_flagged():
+    findings = lint(
+        {
+            "repro/foo/spec.py": """
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class MutableSpec:
+                rate: float = 1.0
+            """
+        }
+    )
+    assert len(findings) == 1
+    assert "frozen=True" in findings[0].message
+
+
+def test_bare_assignment_flagged():
+    # ``name = value`` in a dataclass body is a class attribute, not a
+    # field: it skips __init__, dataclasses.fields, and the cache key.
+    findings = lint(
+        {
+            "repro/foo/spec.py": """
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class SneakySpec:
+                rate: float = 1.0
+                mode = "steady"
+            """
+        }
+    )
+    assert len(findings) == 1
+    assert "SneakySpec.mode" in findings[0].message
+    assert "cache key" in findings[0].message
+
+
+def test_classvar_flagged():
+    findings = lint(
+        {
+            "repro/foo/spec.py": """
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+
+            @dataclass(frozen=True)
+            class StaticSpec:
+                rate: float = 1.0
+                default_mode: ClassVar[str] = "steady"
+            """
+        }
+    )
+    assert len(findings) == 1
+    assert "ClassVar" in findings[0].message
+
+
+def test_compare_false_field_flagged():
+    findings = lint(
+        {
+            "repro/foo/spec.py": """
+            from dataclasses import dataclass, field
+
+
+            @dataclass(frozen=True)
+            class HiddenSpec:
+                rate: float = 1.0
+                note: str = field(default="", compare=False)
+            """
+        }
+    )
+    assert len(findings) == 1
+    assert "compare=False" in findings[0].message
+
+
+GOOD_CANONICAL = """
+import dataclasses
+
+
+def _canonical(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return value
+"""
+
+
+def test_key_builder_clean_passes():
+    assert lint({"repro/runner/cache.py": GOOD_CANONICAL}) == []
+
+
+def test_key_builder_comprehension_filter_flagged():
+    findings = lint(
+        {
+            "repro/runner/cache.py": """
+            import dataclasses
+
+
+            def _canonical(value):
+                return {
+                    f.name: getattr(value, f.name)
+                    for f in dataclasses.fields(value)
+                    if f.name != "seed"
+                }
+            """
+        }
+    )
+    assert len(findings) == 1
+    assert "filters" in findings[0].message
+
+
+def test_key_builder_loop_skip_flagged():
+    findings = lint(
+        {
+            "repro/runner/cache.py": """
+            import dataclasses
+
+
+            def _canonical(value):
+                out = {}
+                for f in dataclasses.fields(value):
+                    if f.name == "seed":
+                        continue
+                    out[f.name] = getattr(value, f.name)
+                return out
+            """
+        }
+    )
+    assert len(findings) == 1
+    assert "skips" in findings[0].message
+
+
+def test_key_builder_without_fields_flagged():
+    findings = lint(
+        {
+            "repro/runner/cache.py": """
+            def _canonical(value):
+                return repr(value)
+            """
+        }
+    )
+    assert len(findings) == 1
+    assert "dataclasses.fields" in findings[0].message
+
+
+ANCHOR_EXECUTOR = """
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    kind: str
+    payload: Optional[GoodSpec] = None
+"""
+
+
+def test_unreachable_spec_flagged():
+    findings = lint(
+        {
+            "repro/runner/executor.py": ANCHOR_EXECUTOR,
+            "repro/foo/spec.py": CLEAN_SPEC
+            + textwrap.dedent(
+                """
+                @dataclass(frozen=True)
+                class OrphanSpec:
+                    level: int = 0
+                """
+            ),
+        }
+    )
+    assert len(findings) == 1
+    assert "OrphanSpec" in findings[0].message
+    assert "never reach" in findings[0].message
+
+
+def test_reachable_spec_passes():
+    findings = lint(
+        {
+            "repro/runner/executor.py": ANCHOR_EXECUTOR,
+            "repro/foo/spec.py": CLEAN_SPEC,
+        }
+    )
+    assert findings == []
