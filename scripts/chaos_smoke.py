@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""CI chaos smoke: the acceptance scenario for the fault-tolerant runner.
+
+Runs a batch of 8 chaos requests where run 5 (index 4) always raises in
+the worker, with ``keep_going`` and a persistent cache. Asserts:
+
+* the other 7 runs complete and are checkpointed incrementally,
+* the failed run surfaces as a structured ledger entry with the full
+  retry ladder spent,
+* a warm rerun reads the 7 completions straight from the cache (7 hits,
+  1 miss — the failed run is retried, never served stale).
+
+Exits non-zero on any mismatch so CI fails loudly.
+"""
+
+import argparse
+import sys
+import tempfile
+
+from repro.obs import MetricsRegistry
+from repro.runner import DiskCache, RunFailure, chaos_request, run_many
+
+BATCH = 8
+BAD_INDEX = 4
+EXPECTED_ATTEMPTS = 3  # RetryPolicy default: 2 pool rungs + 1 serial
+
+
+def check(condition, label):
+    if condition:
+        print(f"ok: {label}")
+        return 0
+    print(f"FAIL: {label}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: a fresh temp dir)",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="chaos-smoke-")
+    requests = [
+        chaos_request(mode="raise" if index == BAD_INDEX else "ok", seed=index)
+        for index in range(BATCH)
+    ]
+
+    cold = DiskCache(cache_dir)
+    cold.clear()  # make reruns of the smoke itself deterministic
+    metrics = MetricsRegistry()
+    results = run_many(
+        requests, jobs=args.jobs, cache=cold, keep_going=True, metrics=metrics
+    )
+
+    failures = [r for r in results if isinstance(r, RunFailure)]
+    bad = 0
+    bad += check(len(results) == BATCH, f"{BATCH} result slots")
+    bad += check(len(failures) == 1, "exactly one ledger entry")
+    if failures:
+        failure = failures[0]
+        bad += check(failure.index == BAD_INDEX, "failure blames run 5")
+        bad += check(
+            failure.attempts == EXPECTED_ATTEMPTS,
+            f"retry ladder spent ({failure.attempts} attempts)",
+        )
+        bad += check(
+            failure.error_type == "ChaosFailure", "structured error type"
+        )
+        print(f"ledger: {failure.describe()}")
+    completed = [
+        r for r in results if not isinstance(r, RunFailure) and r is not None
+    ]
+    bad += check(len(completed) == BATCH - 1, "7 healthy runs completed")
+    bad += check(
+        metrics.value("runner.checkpointed") == BATCH - 1,
+        "each completion checkpointed to the cache",
+    )
+    bad += check(metrics.value("runner.inflight") == 0, "in-flight gauge drained")
+
+    warm = DiskCache(cache_dir)
+    rerun = run_many(requests, jobs=args.jobs, cache=warm, keep_going=True)
+    bad += check(
+        warm.hits == BATCH - 1 and warm.misses == 1,
+        f"warm rerun: {warm.hits} hits / {warm.misses} miss",
+    )
+    bad += check(
+        sum(isinstance(r, RunFailure) for r in rerun) == 1,
+        "warm rerun retries (and re-fails) only the broken run",
+    )
+
+    if bad:
+        print(f"\nchaos smoke: {bad} check(s) failed", file=sys.stderr)
+        return 1
+    print("\nchaos smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,7 +60,11 @@ from repro.dnscore import Message, Name, RRType, Zone
 from repro.netem import AttackSchedule, AttackWindow, Network
 from repro.obs import MetricsRegistry, ObsSpec, Tracer
 from repro.runner import (
+    MISS,
     DiskCache,
+    RetryPolicy,
+    RunFailure,
+    RunFailureError,
     RunRequest,
     baseline_request,
     ddos_request,
@@ -97,6 +101,7 @@ __all__ = [
     "DiskCache",
     "DnsCache",
     "ForwardingResolver",
+    "MISS",
     "Message",
     "MetricsRegistry",
     "Name",
@@ -110,7 +115,10 @@ __all__ = [
     "RRType",
     "RecursiveResolver",
     "ResolverConfig",
+    "RetryPolicy",
     "RotationSchedule",
+    "RunFailure",
+    "RunFailureError",
     "RunRequest",
     "Simulator",
     "StubResolver",

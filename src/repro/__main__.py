@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING, List, Sequence
 
 from repro.analysis.figures import render_timeseries_table
 from repro.analysis.tables import render_kv_table
@@ -31,6 +32,9 @@ from repro.core.experiments import (
     run_probe_case,
     run_software_study,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner import RunFailure
 
 
 def _make_cache(args: argparse.Namespace):
@@ -99,16 +103,43 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="persistent result cache; reruns with unchanged code are instant",
     )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "finish the rest of the battery when a run fails after "
+            "retries; failures are listed in a ledger and the exit "
+            "status is 1 (default: abort on the first exhausted run)"
+        ),
+    )
+
+
+def _print_failure_ledger(failures: Sequence["RunFailure"]) -> None:
+    """Report exhausted runs on stderr, one ledger line per failure."""
+    print(
+        f"\nfailure ledger: {len(failures)} run(s) failed after retries",
+        file=sys.stderr,
+    )
+    for failure in failures:
+        print(f"  {failure.describe()}", file=sys.stderr)
 
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
-    from repro.runner import baseline_request, run_many
+    from repro.runner import RunFailure, baseline_request, run_many
 
     spec = BASELINE_EXPERIMENTS[args.experiment]
     request = baseline_request(
         spec, probe_count=args.probes, seed=args.seed, obs=_obs_spec(args)
     )
-    [result] = run_many([request], jobs=args.jobs, cache=_make_cache(args))
+    [result] = run_many(
+        [request],
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        keep_going=args.keep_going,
+    )
+    if isinstance(result, RunFailure):
+        _print_failure_ledger([result])
+        return 1
     _write_obs_outputs(
         args,
         result.spans,
@@ -125,14 +156,22 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
 
 
 def _cmd_ddos(args: argparse.Namespace) -> int:
-    from repro.runner import ddos_request, run_many
+    from repro.runner import RunFailure, ddos_request, run_many
 
     spec = DDOS_EXPERIMENTS[args.experiment]
     print(spec.describe())
     request = ddos_request(
         spec, probe_count=args.probes, seed=args.seed, obs=_obs_spec(args)
     )
-    [result] = run_many([request], jobs=args.jobs, cache=_make_cache(args))
+    [result] = run_many(
+        [request],
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        keep_going=args.keep_going,
+    )
+    if isinstance(result, RunFailure):
+        _print_failure_ledger([result])
+        return 1
     _write_obs_outputs(
         args,
         result.testbed.spans,
@@ -255,6 +294,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cache=_make_cache(args),
+        keep_going=args.keep_going,
     )
     print("failure fraction during attack (rows: TTL, columns: loss)")
     header = f"{'TTL':>8} " + "".join(f"{loss:>9.0%}" for loss in sweep.losses())
@@ -265,6 +305,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.csv, "w", encoding="utf-8", newline="") as stream:
             write_sweep_csv(sweep, stream)
         print(f"\nwrote {args.csv}")
+    if sweep.failures:
+        _print_failure_ledger(sweep.failures)
+        return 1
     return 0
 
 
@@ -281,6 +324,7 @@ def _cmd_defense_study(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cache=_make_cache(args),
+        keep_going=args.keep_going,
     )
     print(study.render())
     if args.json:
@@ -309,6 +353,9 @@ def _cmd_defense_study(args: argparse.Namespace) -> int:
             json.dump(payload, stream, indent=2, sort_keys=True)
             stream.write("\n")
         print(f"\nwrote {args.json}")
+    if study.failures:
+        _print_failure_ledger(study.failures)
+        return 1
     return 0
 
 
@@ -360,7 +407,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
+    from repro.runner import RunFailure
 
+    ledger: List[RunFailure] = []
     report = build_report(
         baseline_probes=args.baseline_probes,
         ddos_probes=args.ddos_probes,
@@ -370,11 +419,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         metrics_path=args.metrics_out,
         include_defense=args.defense,
+        keep_going=args.keep_going,
+        failure_ledger=ledger,
     )
     print(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as stream:
             stream.write(report)
+    if ledger:
+        _print_failure_ledger(ledger)
+        return 1
     return 0
 
 

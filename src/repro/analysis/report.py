@@ -9,7 +9,8 @@ paper's reported values. Deterministic for a given seed. Used by
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, List, Optional
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.core.experiments import (
     BASELINE_EXPERIMENTS,
@@ -17,7 +18,7 @@ from repro.core.experiments import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.runner import DiskCache
+    from repro.runner import DiskCache, RunFailure
 from repro.workloads.ditl import (
     DitlConfig,
     fraction_at_least,
@@ -55,6 +56,8 @@ def build_report(
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
     include_defense: bool = False,
+    keep_going: bool = False,
+    failure_ledger: Optional[List["RunFailure"]] = None,
 ) -> str:
     """Run everything and return the Markdown comparison report.
 
@@ -70,9 +73,18 @@ def build_report(
     ``include_defense`` appends the beyond-the-paper layered-defense
     grid (``repro.core.experiments.defense_study``); off by default so
     the stock report stays byte-identical to previous versions.
+
+    ``keep_going`` routes through to the executor: a run that exhausts
+    its retry ladder no longer aborts the report — the sections that
+    depended on it are replaced by an omission note, every other section
+    renders from the runs that survived, and a failure-ledger section
+    (plus ``failure_ledger``, when a list is passed in) records exactly
+    what was lost.
     """
     from repro.obs import ObsSpec
     from repro.runner import (
+        RunFailure,
+        RunFailureError,
         baseline_request,
         cache_dump_request,
         ddos_request,
@@ -93,6 +105,35 @@ def build_report(
     started = time.time()  # repro-lint: allow[determinism]
     lines: List[str] = []
     out = lines.append
+    failures: List[RunFailure] = []
+
+    @contextmanager
+    def section(title: str) -> Iterator[None]:
+        """Render one report section, failure-tolerantly.
+
+        Under ``keep_going`` a section that trips over a
+        :class:`RunFailure` placeholder (or a nested battery that raised
+        :exc:`RunFailureError`) is rolled back to its heading plus an
+        omission note, so one poisoned run costs its sections, not the
+        report.
+        """
+        mark = len(lines)
+        try:
+            yield
+        except Exception as error:
+            if not keep_going:
+                raise
+            if isinstance(error, RunFailureError):
+                failures.extend(error.failures)
+            del lines[mark:]
+            out(f"## {title}")
+            out("")
+            out(
+                "_Section omitted under keep-going: it depends on runs "
+                "that failed after retries (see the failure ledger "
+                "below)._"
+            )
+            out("")
 
     # Fan the full independent-run battery out in a single batch so the
     # worker pool stays busy across experiment families.
@@ -120,7 +161,13 @@ def build_report(
         ]
         + [probe_case_request(seed=11)]
     )
-    battery = iter(run_many(requests, jobs=jobs, cache=cache))
+    battery_results = run_many(
+        requests, jobs=jobs, cache=cache, keep_going=keep_going
+    )
+    failures.extend(
+        result for result in battery_results if isinstance(result, RunFailure)
+    )
+    battery = iter(battery_results)
     baselines = {key: next(battery) for key in BASELINE_EXPERIMENTS}
     ddos = {key: next(battery) for key in DDOS_EXPERIMENTS}
     glue = next(battery)
@@ -131,9 +178,12 @@ def build_report(
     if obs is not None:
         from repro.obs import export_metrics, export_spans
 
+        # Failed runs have no telemetry to export; their ledger entry is
+        # the record of what is missing from the JSONL outputs.
         telemetry = [
             (f"baseline-{key}", result.spans, result.metric_snapshots)
             for key, result in baselines.items()
+            if not isinstance(result, RunFailure)
         ] + [
             (
                 f"ddos-{key}",
@@ -141,6 +191,7 @@ def build_report(
                 result.testbed.metric_snapshots,
             )
             for key, result in ddos.items()
+            if not isinstance(result, RunFailure)
         ]
         if trace_path is not None:
             with open(trace_path, "w", encoding="utf-8") as stream:
@@ -163,208 +214,213 @@ def build_report(
     out("")
 
     # ------------------------------------------------------------------
-    out("## Caching baseline (§3) — Tables 1–3, Figures 3, 13")
-    out("")
-    out("| experiment | paper miss rate | measured miss rate |")
-    out("|---|---|---|")
-    for key, result in baselines.items():
-        out(f"| TTL {key} | {PAPER_MISS[key]} | {result.miss_rate:.1%} |")
-    out("")
+    with section("Caching baseline (§3) — Tables 1–3, Figures 3, 13"):
+        out("## Caching baseline (§3) — Tables 1–3, Figures 3, 13")
+        out("")
+        out("| experiment | paper miss rate | measured miss rate |")
+        out("|---|---|---|")
+        for key, result in baselines.items():
+            out(f"| TTL {key} | {PAPER_MISS[key]} | {result.miss_rate:.1%} |")
+        out("")
 
-    base = baselines["1800"]
-    dataset = base.dataset
-    out("Table 1 ratios (TTL 1800 column):")
-    out("")
-    out("| quantity | paper | measured |")
-    out("|---|---|---|")
-    out(
-        f"| probes answering | 95.3% | {dataset.probes_valid / dataset.probes:.1%} |"
-    )
-    out(f"| queries answered | 95.4% | {dataset.answers / dataset.queries:.1%} |")
-    out(
-        "| valid among answers | 99.6% | "
-        f"{dataset.answers_valid / max(1, dataset.answers):.1%} |"
-    )
-    out(f"| VPs per probe | 1.67 | {dataset.vps / dataset.probes:.2f} |")
-    out("")
+        base = baselines["1800"]
+        dataset = base.dataset
+        out("Table 1 ratios (TTL 1800 column):")
+        out("")
+        out("| quantity | paper | measured |")
+        out("|---|---|---|")
+        out(
+            f"| probes answering | 95.3% | {dataset.probes_valid / dataset.probes:.1%} |"
+        )
+        out(f"| queries answered | 95.4% | {dataset.answers / dataset.queries:.1%} |")
+        out(
+            "| valid among answers | 99.6% | "
+            f"{dataset.answers_valid / max(1, dataset.answers):.1%} |"
+        )
+        out(f"| VPs per probe | 1.67 | {dataset.vps / dataset.probes:.2f} |")
+        out("")
 
-    table2 = base.table2
-    table2_day = baselines["86400"].table2
-    out("Table 2 manipulation/fragmentation markers:")
-    out("")
-    out("| quantity | paper | measured |")
-    out("|---|---|---|")
-    out(
-        "| warm-up TTL altered, TTL 1800 | ~2% | "
-        f"{table2.warmup_ttl_altered / max(1, table2.warmup):.1%} |"
-    )
-    out(
-        "| warm-up TTL altered, TTL 86400 | ~30% | "
-        f"{table2_day.warmup_ttl_altered / max(1, table2_day.warmup):.1%} |"
-    )
-    out(
-        "| CCdec (fragmentation), TTL 86400 | ~7.8% of CC | "
-        f"{table2_day.cc_decreasing / max(1, table2_day.cc):.1%} |"
-    )
-    out("")
-
-    table3 = base.table3
-    out("Table 3 miss attribution (TTL 1800):")
-    out("")
-    out("| quantity | paper | measured |")
-    out("|---|---|---|")
-    out(
-        "| public R1 share of AC | 48.7% | "
-        f"{table3.public_r1 / max(1, table3.ac_total):.1%} |"
-    )
-    out(
-        "| Google R1 share of AC | 39.3% | "
-        f"{table3.google_r1 / max(1, table3.ac_total):.1%} |"
-    )
-    out(
-        "| Google Rn within non-public AC | 9.5% | "
-        f"{table3.google_rn / max(1, table3.non_public_r1):.1%} |"
-    )
-    out("")
-
-    # ------------------------------------------------------------------
-    out("## DDoS experiments (§5–§6) — Table 4, Figures 6–12, 14, 15")
-    out("")
-    out(
-        "| exp | loss | TTL | paper failures (attack) | measured | "
-        "measured amplification (paper) |"
-    )
-    out("|---|---|---|---|---|---|")
-    for key, result in ddos.items():
-        spec = result.spec
-        amplification = (
-            f"{result.amplification():.1f}x ({PAPER_AMP[key]})"
-            if key in PAPER_AMP
-            else f"{result.amplification():.1f}x"
+        table2 = base.table2
+        table2_day = baselines["86400"].table2
+        out("Table 2 manipulation/fragmentation markers:")
+        out("")
+        out("| quantity | paper | measured |")
+        out("|---|---|---|")
+        out(
+            "| warm-up TTL altered, TTL 1800 | ~2% | "
+            f"{table2.warmup_ttl_altered / max(1, table2.warmup):.1%} |"
         )
         out(
-            f"| {key} | {spec.loss_fraction:.0%} {spec.servers} | {spec.ttl} | "
-            f"{PAPER_FAIL.get(key, '-')} | "
-            f"{result.failure_fraction_during_attack():.1%} | {amplification} |"
+            "| warm-up TTL altered, TTL 86400 | ~30% | "
+            f"{table2_day.warmup_ttl_altered / max(1, table2_day.warmup):.1%} |"
         )
-    out("")
-
-    series_a = ddos["A"].outcomes_by_round()
-    cache_only = series_a[3]
-    expired = series_a[9]
-    out("Figure 6–12 checkpoints:")
-    out("")
-    out("| quantity | paper | measured |")
-    out("|---|---|---|")
-    out(
-        "| served during cache-only full outage (Fig 6a) | 35–70% | "
-        f"{cache_only['ok'] / sum(cache_only.values()):.0%} |"
-    )
-    out(
-        "| served after caches expire (Fig 6a) | ~0.2% (serve-stale) | "
-        f"{expired['ok'] / sum(expired.values()):.1%} |"
-    )
-    h_latency = {row.round_index: row for row in ddos["H"].latency_series()}
-    i_latency = {row.round_index: row for row in ddos["I"].latency_series()}
-    out(
-        "| latency mid-attack, 30-min TTL (H) vs none (I) | ~390 ms vs "
-        "~1300 ms (§5.5) | "
-        f"mean {h_latency[8].mean_ms:.0f} ms / median {h_latency[8].median_ms:.0f} ms "
-        f"vs mean {i_latency[8].mean_ms:.0f} ms / median "
-        f"{i_latency[8].median_ms:.0f} ms |"
-    )
-    per_probe = {row.round_index: row for row in ddos["I"].per_probe()}
-    out(
-        "| Fig 11 Rn-per-probe median, normal→attack | 1→2 | "
-        f"{per_probe[3].rn_median:.0f}→{per_probe[8].rn_median:.0f} |"
-    )
-    out(
-        "| Fig 11 queries-per-probe p90, normal→attack | 3→18 | "
-        f"{per_probe[3].queries_p90:.0f}→{per_probe[8].queries_p90:.0f} |"
-    )
-    unique_rn = ddos["F"].unique_rn()
-    pre_mean = sum(unique_rn[r] for r in range(1, 6)) / 5
-    mid_mean = sum(unique_rn[r] for r in range(6, 12)) / 6
-    out(
-        "| Fig 12 unique Rn growth under attack (F) | grows | "
-        f"{pre_mean:.0f}→{mid_mean:.0f} per round |"
-    )
-    out("")
-
-    # ------------------------------------------------------------------
-    out("## Glue vs authoritative TTL (Appendix A) — Tables 5–6")
-    out("")
-    out("| quantity | paper | measured |")
-    out("|---|---|---|")
-    out(
-        "| NS answers with child TTL | 94.4% | "
-        f"{glue.ns_buckets.child_fraction:.1%} |"
-    )
-    out(
-        "| A answers with child TTL | 95.0% | "
-        f"{glue.a_buckets.child_fraction:.1%} |"
-    )
-    for software in ("bind", "unbound"):
-        dump = cache_dumps[software]
         out(
-            f"| {software} caches child NS TTL (3600 vs parent 172800) | "
-            f"yes (~3595) | "
-            f"{'yes' if dump.stored_child_value else 'NO'} ({dump.ns_cached_ttl}) |"
+            "| CCdec (fragmentation), TTL 86400 | ~7.8% of CC | "
+            f"{table2_day.cc_decreasing / max(1, table2_day.cc):.1%} |"
         )
-    out("")
+        out("")
+
+        table3 = base.table3
+        out("Table 3 miss attribution (TTL 1800):")
+        out("")
+        out("| quantity | paper | measured |")
+        out("|---|---|---|")
+        out(
+            "| public R1 share of AC | 48.7% | "
+            f"{table3.public_r1 / max(1, table3.ac_total):.1%} |"
+        )
+        out(
+            "| Google R1 share of AC | 39.3% | "
+            f"{table3.google_r1 / max(1, table3.ac_total):.1%} |"
+        )
+        out(
+            "| Google Rn within non-public AC | 9.5% | "
+            f"{table3.google_rn / max(1, table3.non_public_r1):.1%} |"
+        )
+        out("")
 
     # ------------------------------------------------------------------
-    out("## Software retries (Appendix E) — Figure 16")
-    out("")
-    out("| software | condition | paper total queries | measured |")
-    out("|---|---|---|---|")
-    for software in ("bind", "unbound"):
-        for attack in (False, True):
-            result = software_results[(software, attack)]
-            condition = "authoritatives dead" if attack else "normal"
-            out(
-                f"| {software} | {condition} | "
-                f"{PAPER_SOFTWARE[(software, attack)]} | "
-                f"{result.total} (root {result.queries_root}, tld "
-                f"{result.queries_tld}, target {result.queries_target}) |"
+    with section("DDoS experiments (§5–§6) — Table 4, Figures 6–12, 14, 15"):
+        out("## DDoS experiments (§5–§6) — Table 4, Figures 6–12, 14, 15")
+        out("")
+        out(
+            "| exp | loss | TTL | paper failures (attack) | measured | "
+            "measured amplification (paper) |"
+        )
+        out("|---|---|---|---|---|---|")
+        for key, result in ddos.items():
+            spec = result.spec
+            amplification = (
+                f"{result.amplification():.1f}x ({PAPER_AMP[key]})"
+                if key in PAPER_AMP
+                else f"{result.amplification():.1f}x"
             )
-    out("")
+            out(
+                f"| {key} | {spec.loss_fraction:.0%} {spec.servers} | {spec.ttl} | "
+                f"{PAPER_FAIL.get(key, '-')} | "
+                f"{result.failure_fraction_during_attack():.1%} | {amplification} |"
+            )
+        out("")
+
+        series_a = ddos["A"].outcomes_by_round()
+        cache_only = series_a[3]
+        expired = series_a[9]
+        out("Figure 6–12 checkpoints:")
+        out("")
+        out("| quantity | paper | measured |")
+        out("|---|---|---|")
+        out(
+            "| served during cache-only full outage (Fig 6a) | 35–70% | "
+            f"{cache_only['ok'] / sum(cache_only.values()):.0%} |"
+        )
+        out(
+            "| served after caches expire (Fig 6a) | ~0.2% (serve-stale) | "
+            f"{expired['ok'] / sum(expired.values()):.1%} |"
+        )
+        h_latency = {row.round_index: row for row in ddos["H"].latency_series()}
+        i_latency = {row.round_index: row for row in ddos["I"].latency_series()}
+        out(
+            "| latency mid-attack, 30-min TTL (H) vs none (I) | ~390 ms vs "
+            "~1300 ms (§5.5) | "
+            f"mean {h_latency[8].mean_ms:.0f} ms / median {h_latency[8].median_ms:.0f} ms "
+            f"vs mean {i_latency[8].mean_ms:.0f} ms / median "
+            f"{i_latency[8].median_ms:.0f} ms |"
+        )
+        per_probe = {row.round_index: row for row in ddos["I"].per_probe()}
+        out(
+            "| Fig 11 Rn-per-probe median, normal→attack | 1→2 | "
+            f"{per_probe[3].rn_median:.0f}→{per_probe[8].rn_median:.0f} |"
+        )
+        out(
+            "| Fig 11 queries-per-probe p90, normal→attack | 3→18 | "
+            f"{per_probe[3].queries_p90:.0f}→{per_probe[8].queries_p90:.0f} |"
+        )
+        unique_rn = ddos["F"].unique_rn()
+        pre_mean = sum(unique_rn[r] for r in range(1, 6)) / 5
+        mid_mean = sum(unique_rn[r] for r in range(6, 12)) / 6
+        out(
+            "| Fig 12 unique Rn growth under attack (F) | grows | "
+            f"{pre_mean:.0f}→{mid_mean:.0f} per round |"
+        )
+        out("")
 
     # ------------------------------------------------------------------
-    out("## Single-probe drill-down (Appendix F) — Table 7, Figure 17")
-    out("")
-    summary = probe.amplification_summary()
-    normal_rows = [row for row in probe.rows if not row.during_attack]
-    attack_rows = [row for row in probe.rows if row.during_attack]
-    out("| quantity | paper | measured |")
-    out("|---|---|---|")
-    out(
-        "| topology | 3 R1, 8 Rn, 2 AT | "
-        f"{len(probe.r1_addresses)} R1, {len(probe.rn_addresses)} Rn, "
-        f"{len(probe.at_addresses)} AT |"
-    )
-    out(
-        "| auth queries per interval, normal | 3–6 | "
-        f"{min(row.auth_queries for row in normal_rows)}–"
-        f"{max(row.auth_queries for row in normal_rows)} |"
-    )
-    out(
-        "| auth queries per interval, attack | 11–29 | "
-        f"{min(row.auth_queries for row in attack_rows)}–"
-        f"{max(row.auth_queries for row in attack_rows)} |"
-    )
-    out(
-        "| client answers during attack | 2 of 3 | "
-        f"{sum(row.client_answers for row in attack_rows) / len(attack_rows):.1f}"
-        " of 3 |"
-    )
-    normal_rate = summary["normal_queries_per_client_query"]
-    attack_rate = summary["attack_queries_per_client_query"]
-    out(
-        "| amplification per client query | ~4–10x | "
-        f"{attack_rate / max(0.01, normal_rate):.1f}x |"
-    )
-    out("")
+    with section("Glue vs authoritative TTL (Appendix A) — Tables 5–6"):
+        out("## Glue vs authoritative TTL (Appendix A) — Tables 5–6")
+        out("")
+        out("| quantity | paper | measured |")
+        out("|---|---|---|")
+        out(
+            "| NS answers with child TTL | 94.4% | "
+            f"{glue.ns_buckets.child_fraction:.1%} |"
+        )
+        out(
+            "| A answers with child TTL | 95.0% | "
+            f"{glue.a_buckets.child_fraction:.1%} |"
+        )
+        for software in ("bind", "unbound"):
+            dump = cache_dumps[software]
+            out(
+                f"| {software} caches child NS TTL (3600 vs parent 172800) | "
+                f"yes (~3595) | "
+                f"{'yes' if dump.stored_child_value else 'NO'} ({dump.ns_cached_ttl}) |"
+            )
+        out("")
+
+    # ------------------------------------------------------------------
+    with section("Software retries (Appendix E) — Figure 16"):
+        out("## Software retries (Appendix E) — Figure 16")
+        out("")
+        out("| software | condition | paper total queries | measured |")
+        out("|---|---|---|---|")
+        for software in ("bind", "unbound"):
+            for attack in (False, True):
+                result = software_results[(software, attack)]
+                condition = "authoritatives dead" if attack else "normal"
+                out(
+                    f"| {software} | {condition} | "
+                    f"{PAPER_SOFTWARE[(software, attack)]} | "
+                    f"{result.total} (root {result.queries_root}, tld "
+                    f"{result.queries_tld}, target {result.queries_target}) |"
+                )
+        out("")
+
+    # ------------------------------------------------------------------
+    with section("Single-probe drill-down (Appendix F) — Table 7, Figure 17"):
+        out("## Single-probe drill-down (Appendix F) — Table 7, Figure 17")
+        out("")
+        summary = probe.amplification_summary()
+        normal_rows = [row for row in probe.rows if not row.during_attack]
+        attack_rows = [row for row in probe.rows if row.during_attack]
+        out("| quantity | paper | measured |")
+        out("|---|---|---|")
+        out(
+            "| topology | 3 R1, 8 Rn, 2 AT | "
+            f"{len(probe.r1_addresses)} R1, {len(probe.rn_addresses)} Rn, "
+            f"{len(probe.at_addresses)} AT |"
+        )
+        out(
+            "| auth queries per interval, normal | 3–6 | "
+            f"{min(row.auth_queries for row in normal_rows)}–"
+            f"{max(row.auth_queries for row in normal_rows)} |"
+        )
+        out(
+            "| auth queries per interval, attack | 11–29 | "
+            f"{min(row.auth_queries for row in attack_rows)}–"
+            f"{max(row.auth_queries for row in attack_rows)} |"
+        )
+        out(
+            "| client answers during attack | 2 of 3 | "
+            f"{sum(row.client_answers for row in attack_rows) / len(attack_rows):.1f}"
+            " of 3 |"
+        )
+        normal_rate = summary["normal_queries_per_client_query"]
+        attack_rate = summary["attack_queries_per_client_query"]
+        out(
+            "| amplification per client query | ~4–10x | "
+            f"{attack_rate / max(0.01, normal_rate):.1f}x |"
+        )
+        out("")
 
     # ------------------------------------------------------------------
     out("## Production-zone caching (§4) — Figures 4–5")
@@ -402,7 +458,9 @@ def build_report(
             seed=seed,
             jobs=jobs,
             cache=cache,
+            keep_going=keep_going,
         )
+        failures.extend(study.failures)
         out("## Layered authoritative defenses (beyond the paper)")
         out("")
         out(
@@ -418,6 +476,29 @@ def build_report(
         for line in study.markdown():
             out(line)
         out("")
+
+    # ------------------------------------------------------------------
+    if failures:
+        out("## Failure ledger")
+        out("")
+        out(
+            f"{len(failures)} run(s) exhausted the executor's retry "
+            "ladder under keep-going; the sections above that depended "
+            "on them carry omission notes, and the telemetry exports "
+            "skip them."
+        )
+        out("")
+        out("| request | kind | error | attempts |")
+        out("|---|---|---|---|")
+        for failure in failures:
+            out(
+                f"| #{failure.index} | {failure.kind} | "
+                f"{failure.error_type}: {failure.message} | "
+                f"{failure.attempts} |"
+            )
+        out("")
+    if failure_ledger is not None:
+        failure_ledger.extend(failures)
 
     elapsed = time.time() - started  # repro-lint: allow[determinism]
     out(f"_Full battery regenerated in {elapsed:.0f} s of wall-clock time._")

@@ -37,7 +37,7 @@ from repro.core.experiments.ddos import DDoSSpec
 from repro.defense import DefenseSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.runner import DiskCache
+    from repro.runner import DiskCache, RunFailure
 
 # The measurement zone always runs two test authoritatives ("both" in
 # Table 4's terms); capacity is per server, so the flood must offer
@@ -103,12 +103,22 @@ class DefenseStudyResult:
     mode: str
     probe_count: int
     seed: int
+    failures: List["RunFailure"] = field(default_factory=list)
 
     def cell(self, layers: str, intensity: float) -> DefenseCell:
         for candidate in self.cells:
             if candidate.layers == layers and candidate.intensity == intensity:
                 return candidate
         raise KeyError(f"no cell for layers={layers!r}, intensity={intensity}")
+
+    def _cell_or_none(
+        self, layers: str, intensity: float
+    ) -> Optional[DefenseCell]:
+        """Grid lookup for renderers: ``None`` where the run failed."""
+        try:
+            return self.cell(layers, intensity)
+        except KeyError:
+            return None
 
     def layer_rows(self) -> List[str]:
         seen: List[str] = []
@@ -121,14 +131,16 @@ class DefenseStudyResult:
         return sorted({cell.intensity for cell in self.cells})
 
     def reliability_grid(self) -> List[List[float]]:
-        """Rows = defense layers (in added order), columns = intensity."""
-        return [
-            [
-                self.cell(layers, intensity).reliability
-                for intensity in self.intensities()
-            ]
-            for layers in self.layer_rows()
-        ]
+        """Rows = defense layers (in added order), columns = intensity.
+        Cells lost to failed runs (``keep_going``) are NaN."""
+        grid: List[List[float]] = []
+        for layers in self.layer_rows():
+            row: List[float] = []
+            for intensity in self.intensities():
+                cell = self._cell_or_none(layers, intensity)
+                row.append(cell.reliability if cell else float("nan"))
+            grid.append(row)
+        return grid
 
     def marginal_benefit(self, layers: str, intensity: float) -> float:
         """Reliability gained over ``capacity-only`` at this intensity."""
@@ -151,16 +163,22 @@ class DefenseStudyResult:
         ]
         for layers in self.layer_rows():
             row = "".join(
-                f"{self.cell(layers, intensity).reliability:>9.1%}"
-                for intensity in intensities
+                f"{cell.reliability:>9.1%}" if cell else f"{'n/a':>9}"
+                for cell in (
+                    self._cell_or_none(layers, intensity)
+                    for intensity in intensities
+                )
             )
             lines.append(f"{layers:>14} {row}")
         lines.append("")
         lines.append("attack queries surviving every layer:")
         for layers in self.layer_rows():
             row = "".join(
-                f"{self.cell(layers, intensity).attack_served_fraction:>9.1%}"
-                for intensity in intensities
+                f"{cell.attack_served_fraction:>9.1%}" if cell else f"{'n/a':>9}"
+                for cell in (
+                    self._cell_or_none(layers, intensity)
+                    for intensity in intensities
+                )
             )
             lines.append(f"{layers:>14} {row}")
         return "\n".join(lines)
@@ -177,9 +195,16 @@ class DefenseStudyResult:
         ]
         for layers in self.layer_rows():
             cells = " | ".join(
-                f"{self.cell(layers, intensity).reliability:.1%} "
-                f"(atk {self.cell(layers, intensity).attack_served_fraction:.0%})"
-                for intensity in intensities
+                (
+                    f"{cell.reliability:.1%} "
+                    f"(atk {cell.attack_served_fraction:.0%})"
+                    if cell
+                    else "n/a (run failed)"
+                )
+                for cell in (
+                    self._cell_or_none(layers, intensity)
+                    for intensity in intensities
+                )
             )
             lines.append(f"| {layers} | {cells} |")
         return lines
@@ -226,6 +251,7 @@ def run_defense_study(
     population: Optional[PopulationConfig] = None,
     jobs: Optional[int] = 1,
     cache: Optional["DiskCache"] = None,
+    keep_going: bool = False,
 ) -> DefenseStudyResult:
     """Run the grid; one emergent-loss DDoS experiment per cell.
 
@@ -243,7 +269,7 @@ def run_defense_study(
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
-    from repro.runner import ddos_request, run_many
+    from repro.runner import RunFailure, ddos_request, run_many
 
     attack_start_min, attack_duration_min = 30.0, 40.0
     total_min = attack_start_min + attack_duration_min + 10.0
@@ -282,7 +308,7 @@ def run_defense_study(
                 defense=defense_spec_for(layers, capacity),
             )
         )
-    results = run_many(requests, jobs=jobs, cache=cache)
+    results = run_many(requests, jobs=jobs, cache=cache, keep_going=keep_going)
     study_cells = [
         DefenseCell(
             layers=layers,
@@ -293,6 +319,7 @@ def run_defense_study(
             attack_stats=dict(result.testbed.attack_stats or {}),
         )
         for (layers, intensity), result in zip(cells, results)
+        if not isinstance(result, RunFailure)
     ]
     return DefenseStudyResult(
         cells=study_cells,
@@ -300,4 +327,5 @@ def run_defense_study(
         mode=mode,
         probe_count=probe_count,
         seed=seed,
+        failures=[r for r in results if isinstance(r, RunFailure)],
     )

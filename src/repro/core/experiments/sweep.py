@@ -9,14 +9,14 @@ attack of intensity X?").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.clients.population import PopulationConfig
 from repro.core.experiments.ddos import DDoSSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.runner import DiskCache
+    from repro.runner import DiskCache, RunFailure
 
 
 @dataclass
@@ -37,11 +37,18 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """The full grid, indexable by (loss, ttl)."""
+    """The full grid, indexable by (loss, ttl).
+
+    Under ``keep_going`` a cell whose run exhausted its retries is absent
+    from ``points`` and recorded in ``failures`` instead; derived
+    matrices carry NaN in that cell so the rest of the surface is still
+    usable.
+    """
 
     points: List[SweepPoint]
     probe_count: int
     seed: int
+    failures: List["RunFailure"] = field(default_factory=list)
 
     def point(self, loss_fraction: float, ttl: int) -> SweepPoint:
         for candidate in self.points:
@@ -56,19 +63,34 @@ class SweepResult:
         return sorted({point.ttl for point in self.points})
 
     def failure_matrix(self) -> List[List[float]]:
-        """Rows = TTLs (ascending), columns = losses (ascending)."""
-        return [
-            [self.point(loss, ttl).failure_during for loss in self.losses()]
-            for ttl in self.ttls()
-        ]
+        """Rows = TTLs (ascending), columns = losses (ascending).
+
+        A cell lost to a failed run renders as NaN rather than taking
+        the whole matrix down with a ``KeyError``.
+        """
+        matrix: List[List[float]] = []
+        for ttl in self.ttls():
+            row: List[float] = []
+            for loss in self.losses():
+                try:
+                    row.append(self.point(loss, ttl).failure_during)
+                except KeyError:
+                    row.append(float("nan"))
+            matrix.append(row)
+        return matrix
 
     def minimum_ttl_for(
         self, loss_fraction: float, max_failure: float
     ) -> Optional[int]:
         """Smallest swept TTL keeping failures at/below ``max_failure``
-        under ``loss_fraction`` — the operator's planning question."""
+        under ``loss_fraction`` — the operator's planning question.
+        Cells lost to failed runs are treated as not satisfying."""
         for ttl in self.ttls():
-            if self.point(loss_fraction, ttl).failure_during <= max_failure:
+            try:
+                candidate = self.point(loss_fraction, ttl)
+            except KeyError:
+                continue
+            if candidate.failure_during <= max_failure:
                 return ttl
         return None
 
@@ -83,6 +105,7 @@ def run_sweep(
     population: Optional[PopulationConfig] = None,
     jobs: Optional[int] = 1,
     cache: Optional["DiskCache"] = None,
+    keep_going: bool = False,
 ) -> SweepResult:
     """Run the grid; one full DDoS experiment per cell.
 
@@ -91,8 +114,12 @@ def run_sweep(
     callers serial) and previously-computed cells are reused from
     ``cache``. Point order — and therefore every derived matrix — is the
     (ttl, loss) grid order regardless of parallelism.
+
+    With ``keep_going`` a cell that exhausts the executor's retry ladder
+    is dropped from the surface (NaN in the matrices) and recorded in
+    :attr:`SweepResult.failures` instead of aborting the whole grid.
     """
-    from repro.runner import ddos_request, run_many
+    from repro.runner import RunFailure, ddos_request, run_many
 
     cells = [(ttl, loss) for ttl in ttls for loss in losses]
     requests = [
@@ -114,7 +141,7 @@ def run_sweep(
         )
         for ttl, loss in cells
     ]
-    results = run_many(requests, jobs=jobs, cache=cache)
+    results = run_many(requests, jobs=jobs, cache=cache, keep_going=keep_going)
     points = [
         SweepPoint(
             loss_fraction=loss,
@@ -124,5 +151,9 @@ def run_sweep(
             amplification=result.amplification(),
         )
         for (ttl, loss), result in zip(cells, results)
+        if not isinstance(result, RunFailure)
     ]
-    return SweepResult(points=points, probe_count=probe_count, seed=seed)
+    failures = [result for result in results if isinstance(result, RunFailure)]
+    return SweepResult(
+        points=points, probe_count=probe_count, seed=seed, failures=failures
+    )

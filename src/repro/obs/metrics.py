@@ -157,6 +157,21 @@ class MetricsRegistry:
         """
         self._collectors.append((name, collect))
 
+    def value(self, name: str) -> Number:
+        """Current value of a counter or gauge by name (0 when absent).
+
+        Read-side convenience for consumers that did not keep the
+        instrument handle — the executor telemetry assertions in tests
+        and the chaos smoke script.
+        """
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter.value
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return gauge.value
+        return 0
+
     # -- snapshotting --
     def snapshot(self, time: float, round_index: int) -> MetricsSnapshot:
         """Flatten every instrument into a snapshot and append it."""

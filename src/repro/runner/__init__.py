@@ -15,36 +15,50 @@ embarrassingly parallel and perfectly cacheable:
   tree, so reports, sweeps, and benchmarks skip already-computed runs
   across sessions and automatically invalidate when the code changes.
 
-See DESIGN.md §7 for the architecture notes.
+See DESIGN.md §7 for the architecture notes and §11 for the failure
+ladder, checkpoint/resume semantics, and executor telemetry.
 """
 
 from repro.runner.cache import (
+    MISS,
+    ClearStats,
     DiskCache,
     cache_key,
     code_fingerprint,
     default_cache_dir,
 )
 from repro.runner.executor import (
+    ChaosFailure,
     RunRequest,
     baseline_request,
     cache_dump_request,
+    chaos_request,
     ddos_request,
     execute_request,
     glue_request,
     probe_case_request,
     resolve_jobs,
     run_many,
+    runner_metrics,
     software_request,
 )
+from repro.runner.failures import RetryPolicy, RunFailure, RunFailureError
 from repro.runner.results import TestbedSnapshot, detach_result
 
 __all__ = [
+    "ChaosFailure",
+    "ClearStats",
     "DiskCache",
+    "MISS",
+    "RetryPolicy",
+    "RunFailure",
+    "RunFailureError",
     "RunRequest",
     "TestbedSnapshot",
     "baseline_request",
     "cache_dump_request",
     "cache_key",
+    "chaos_request",
     "code_fingerprint",
     "ddos_request",
     "default_cache_dir",
@@ -54,5 +68,6 @@ __all__ = [
     "probe_case_request",
     "resolve_jobs",
     "run_many",
+    "runner_metrics",
     "software_request",
 ]

@@ -17,19 +17,52 @@ as misses and overwritten.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import hashlib
 import json
 import os
 import pathlib
 import pickle
 import tempfile
-from typing import Any, Optional, Union
+import time
+from typing import Any, NamedTuple, Optional, Union
 
 import repro
 
 _FINGERPRINT: Optional[str] = None
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Prefix of the atomic-write staging files (`.tmp-XXXX.pkl`).
+TEMP_PREFIX = ".tmp-"
+
+#: A staging file older than this is an orphan from a killed ``put()``
+#: (a live write lasts milliseconds) and is swept opportunistically.
+TEMP_SWEEP_AGE_SECONDS = 3600.0
+
+
+class _MissSentinel:
+    """Distinct cache-miss marker so ``None`` is a storable value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<MISS>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Returned by :meth:`DiskCache.get` on a miss. Test with ``is MISS`` —
+#: a legitimately-``None`` cached result must not read as a miss.
+MISS = _MissSentinel()
+
+
+class ClearStats(NamedTuple):
+    """What :meth:`DiskCache.clear` removed."""
+
+    entries: int
+    temps: int
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -55,7 +88,14 @@ def code_fingerprint() -> str:
 
 
 def _canonical(value: Any) -> Any:
-    """Reduce a request component to JSON-encodable canonical form."""
+    """Reduce a request component to JSON-encodable canonical form.
+
+    Every encoding must be stable across *processes*: set iteration
+    follows the per-process string hash seed and default ``repr`` embeds
+    an object address, so both are canonicalized explicitly. Types with
+    no stable encoding raise ``TypeError`` instead of silently keying on
+    an address — a wrong cache key defeats the cache without any error.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             "__dataclass__": type(value).__name__,
@@ -64,13 +104,26 @@ def _canonical(value: Any) -> Any:
                 for field in dataclasses.fields(value)
             },
         }
+    if isinstance(value, enum.Enum):
+        # Before the scalar check: IntEnum/StrEnum subclass int/str, and
+        # two enums may share a value while meaning different things.
+        return {"__enum__": f"{type(value).__name__}.{value.name}"}
     if isinstance(value, dict):
         return {str(key): _canonical(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        items = [_canonical(item) for item in value]
+        items.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return {"__set__": items}
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
-    return repr(value)
+    raise TypeError(
+        f"cannot build a stable cache key from {type(value).__name__!r} "
+        f"({value!r}); add an explicit canonical encoding to _canonical"
+    )
 
 
 def cache_key(request: Any) -> str:
@@ -96,20 +149,24 @@ class DiskCache:
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[Any]:
-        """Load a cached result, or ``None`` on miss/corruption."""
+    def get(self, key: str) -> Any:
+        """Load a cached result, or :data:`MISS` on miss/corruption.
+
+        The sentinel (not ``None``) marks the miss so a run whose
+        detached result is legitimately ``None`` still reads as a hit.
+        """
         path = self.path_for(key)
         try:
             with path.open("rb") as stream:
                 value = pickle.load(stream)
         except FileNotFoundError:
             self.misses += 1
-            return None
+            return MISS
         except Exception:
             # A truncated or stale-format entry is just a miss; the next
             # put() replaces it.
             self.misses += 1
-            return None
+            return MISS
         self.hits += 1
         return value
 
@@ -118,7 +175,7 @@ class DiskCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         descriptor, temp_name = tempfile.mkstemp(
-            dir=self.root, prefix=".tmp-", suffix=".pkl"
+            dir=self.root, prefix=TEMP_PREFIX, suffix=".pkl"
         )
         try:
             with os.fdopen(descriptor, "wb") as stream:
@@ -130,15 +187,49 @@ class DiskCache:
             except OSError:
                 pass
             raise
+        # A put() killed between mkstemp and replace leaves its staging
+        # file behind forever; sweep aged orphans while we are here.
+        self.sweep_temps(min_age_seconds=TEMP_SWEEP_AGE_SECONDS)
+
+    def sweep_temps(self, min_age_seconds: Optional[float] = None) -> int:
+        """Remove orphaned ``.tmp-*.pkl`` staging files; returns count.
+
+        With ``min_age_seconds`` set, only files at least that old are
+        removed — young staging files may belong to a concurrent
+        ``put()`` whose ``os.replace`` has not happened yet.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        # Wall clock on purpose: file ages are an OS artifact, not
+        # simulation state.
+        now = time.time()  # repro-lint: allow[determinism]
+        for path in self.root.glob(TEMP_PREFIX + "*.pkl"):
+            if min_age_seconds is not None:
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age < min_age_seconds:
+                    continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
-    def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
-        removed = 0
+    def clear(self) -> ClearStats:
+        """Delete every entry and staging file; reports both counts."""
+        entries = 0
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
+                if path.name.startswith(TEMP_PREFIX):
+                    continue  # counted by the temp sweep below
                 path.unlink(missing_ok=True)
-                removed += 1
-        return removed
+                entries += 1
+        temps = self.sweep_temps()
+        return ClearStats(entries=entries, temps=temps)

@@ -1,0 +1,92 @@
+"""Failure shapes and retry policy for the fault-tolerant executor.
+
+The paper's thesis is that DNS survives DDoS because every layer fails
+open — retries, caching, and redundancy absorb damage instead of
+propagating it. The batch executor applies the same discipline to its
+own orchestration: a worker exception or a killed worker process must
+not discard the rest of the battery. These are the types that carry
+that policy and its outcomes:
+
+* :class:`RetryPolicy` — a bounded, deterministic retry schedule. The
+  schedule is expressed purely in *attempt counts* (never wall-clock
+  sleeps), so a battery behaves identically on a loaded CI box and a
+  fast workstation.
+* :class:`RunFailure` — the structured ledger entry produced when every
+  rung of the ladder is exhausted: request index and kind, cache key,
+  attempt count, and the worker traceback.
+* :exc:`RunFailureError` — raised under fail-fast (the default); wraps
+  the ledger so callers still see *which* request died and why instead
+  of a bare exception bubbling out of the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry ladder for one batch (counts, never clocks).
+
+    ``max_attempts`` is the total execution budget per request across
+    every rung. With ``serial_fallback`` enabled, the final attempt of a
+    request that failed with a *clean* exception runs in-process in the
+    parent — the last rung, immune to pool machinery. Requests
+    implicated in a worker crash (``BrokenProcessPool``) are never run
+    in-process: a request that can kill a worker could kill the parent.
+
+    ``max_pool_rebuilds`` bounds how many times the shared pool is
+    rebuilt after a crash before the executor degrades to quarantine
+    mode (one single-worker pool per request, so a repeat offender only
+    takes itself down and blame is exact).
+    """
+
+    max_attempts: int = 3
+    serial_fallback: bool = True
+    max_pool_rebuilds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0: {self.max_pool_rebuilds}"
+            )
+
+
+@dataclass
+class RunFailure:
+    """One exhausted request: the failure ledger entry.
+
+    Under ``keep_going`` these occupy the failed request's slot in the
+    ``run_many`` result list, so a battery stays index-aligned while the
+    caller decides what to do about the holes.
+    """
+
+    index: int
+    kind: str
+    key: Optional[str]
+    attempts: int
+    error_type: str
+    message: str
+    traceback: str
+
+    def describe(self) -> str:
+        return (
+            f"request #{self.index} ({self.kind}): {self.error_type}: "
+            f"{self.message} [after {self.attempts} attempts]"
+        )
+
+
+class RunFailureError(RuntimeError):
+    """Raised under fail-fast once a request exhausts its retry budget.
+
+    Carries the structured ledger (``failures``); completed runs have
+    already been checkpointed to the cache by the time this is raised,
+    so a rerun resumes from where the battery died.
+    """
+
+    def __init__(self, failures: List[RunFailure]) -> None:
+        self.failures = failures
+        super().__init__("; ".join(f.describe() for f in failures))

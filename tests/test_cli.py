@@ -111,6 +111,19 @@ def test_parser_accepts_runner_flags():
         args = parser.parse_args(argv)
         assert args.jobs is not None
         assert args.cache_dir == "/tmp/x"
+        assert args.keep_going is False
+
+
+def test_parser_accepts_keep_going_everywhere():
+    parser = build_parser()
+    for argv in (
+        ["report", "--keep-going"],
+        ["sweep", "--keep-going"],
+        ["defense-study", "--keep-going"],
+        ["ddos", "E", "--keep-going"],
+        ["baseline", "60", "--keep-going"],
+    ):
+        assert parser.parse_args(argv).keep_going is True
 
 
 def test_cli_baseline_with_cache_dir(tmp_path, capsys):

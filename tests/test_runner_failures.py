@@ -1,0 +1,184 @@
+"""Failure-path tests for the fault-tolerant executor.
+
+Everything here uses ``chaos`` requests (:func:`repro.runner.chaos_request`)
+so worker failures are injected deterministically — no real experiment
+run ever fails on its own in CI.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.runner import (
+    MISS,
+    ChaosFailure,
+    DiskCache,
+    RetryPolicy,
+    RunFailure,
+    RunFailureError,
+    cache_key,
+    chaos_request,
+    run_many,
+)
+
+POLICY = RetryPolicy(max_attempts=3, serial_fallback=True, max_pool_rebuilds=1)
+
+
+def _battery(bad_index=4, size=8, mode="raise"):
+    """A batch of ``size`` chaos runs with one persistent failure."""
+    return [
+        chaos_request(mode=mode if index == bad_index else "ok", seed=index)
+        for index in range(size)
+    ]
+
+
+def test_keep_going_completes_the_rest_of_the_batch(tmp_path):
+    cache = DiskCache(tmp_path)
+    requests = _battery(bad_index=4)
+    metrics = MetricsRegistry()
+    results = run_many(
+        requests, jobs=2, cache=cache, keep_going=True, metrics=metrics
+    )
+    assert len(results) == 8
+    failure = results[4]
+    assert isinstance(failure, RunFailure)
+    assert failure.index == 4
+    assert failure.error_type == "ChaosFailure"
+    assert failure.attempts == POLICY.max_attempts
+    for index, result in enumerate(results):
+        if index == 4:
+            continue
+        assert result == {"chaos": "chaos", "seed": index}
+    # Incremental write-back: every healthy run is on disk even though
+    # one member of the batch failed.
+    for index, request in enumerate(requests):
+        cached = cache.get(cache_key(request))
+        if index == 4:
+            assert cached is MISS
+        else:
+            assert cached == results[index]
+    assert metrics.value("runner.checkpointed") == 7
+    assert metrics.value("runner.inflight") == 0
+
+
+def test_fail_fast_raises_structured_error(tmp_path):
+    cache = DiskCache(tmp_path)
+    with pytest.raises(RunFailureError) as info:
+        run_many(_battery(bad_index=2, size=4), jobs=1, cache=cache)
+    [failure] = info.value.failures
+    assert failure.index == 2
+    assert failure.kind == "chaos"
+    assert failure.error_type == "ChaosFailure"
+    assert failure.attempts == POLICY.max_attempts
+    assert "#2" in failure.describe()
+    assert "chaos" in failure.describe()
+
+
+def test_fail_fast_still_checkpoints_completed_runs(tmp_path):
+    # An aborted batch must not waste the runs that already finished:
+    # a rerun after the fix should hit the cache for all of them.
+    cache = DiskCache(tmp_path)
+    requests = _battery(bad_index=3, size=4)
+    with pytest.raises(RunFailureError):
+        run_many(requests, jobs=1, cache=cache)
+    for index, request in enumerate(requests):
+        hit = cache.get(cache_key(request)) is not MISS
+        assert hit == (index != 3)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_flaky_run_retries_then_succeeds(tmp_path, jobs):
+    state = tmp_path / "flaky-state"
+    metrics = MetricsRegistry()
+    requests = [
+        chaos_request(mode="ok", seed=0),
+        chaos_request(
+            mode="raise", seed=1, state_file=str(state), fail_times=1
+        ),
+    ]
+    results = run_many(requests, jobs=jobs, metrics=metrics)
+    assert results[1] == {"chaos": "chaos", "seed": 1}
+    assert metrics.value("runner.retries") >= 1
+
+
+def test_worker_crash_recovers_and_blames_the_right_run(tmp_path):
+    # SIGKILL takes down the whole pool (BrokenProcessPool); the ladder
+    # must rebuild, quarantine, and pin the crash on run 1 while the
+    # healthy runs still complete.
+    cache = DiskCache(tmp_path)
+    metrics = MetricsRegistry()
+    requests = [
+        chaos_request(mode="ok", seed=0),
+        chaos_request(mode="kill", seed=1),
+        chaos_request(mode="ok", seed=2),
+    ]
+    results = run_many(
+        requests, jobs=2, cache=cache, keep_going=True, metrics=metrics
+    )
+    failure = results[1]
+    assert isinstance(failure, RunFailure)
+    assert failure.error_type == "BrokenProcessPool"
+    assert results[0] == {"chaos": "chaos", "seed": 0}
+    assert results[2] == {"chaos": "chaos", "seed": 2}
+    assert metrics.value("runner.worker_crashes") >= 1
+    assert metrics.value("runner.inflight") == 0
+
+
+def test_serial_fallback_counter_increments(tmp_path):
+    # Only the pool path descends to the in-process rung; a persistent
+    # raiser spends the pool budget, then one serial final attempt.
+    metrics = MetricsRegistry()
+    results = run_many(
+        [chaos_request(mode="ok", seed=0), chaos_request(mode="raise", seed=1)],
+        jobs=2,
+        keep_going=True,
+        metrics=metrics,
+    )
+    assert isinstance(results[1], RunFailure)
+    assert metrics.value("runner.serial_fallbacks") == 1
+
+
+def test_interrupted_batch_resumes_with_exact_hit_count(tmp_path):
+    # Simulate an interrupted battery: run a prefix, then the full batch.
+    cache = DiskCache(tmp_path)
+    requests = [chaos_request(mode="ok", seed=index) for index in range(8)]
+    run_many(requests[:3], jobs=2, cache=cache)
+
+    resumed = DiskCache(tmp_path)
+    results = run_many(requests, jobs=2, cache=resumed)
+    assert len(results) == 8
+    assert resumed.hits == 3
+    assert resumed.misses == 5
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_pool_rebuilds=-1)
+
+
+def test_custom_policy_controls_attempt_count():
+    metrics = MetricsRegistry()
+    policy = RetryPolicy(max_attempts=2, serial_fallback=False)
+    results = run_many(
+        [chaos_request(mode="raise", seed=0)],
+        jobs=1,
+        keep_going=True,
+        policy=policy,
+        metrics=metrics,
+    )
+    failure = results[0]
+    assert isinstance(failure, RunFailure)
+    assert failure.attempts == 2
+    assert metrics.value("runner.serial_fallbacks") == 0
+
+
+def test_chaos_request_raise_mode_raises_chaos_failure():
+    from repro.runner import execute_request
+
+    with pytest.raises(ChaosFailure):
+        execute_request(chaos_request(mode="raise", seed=9))
+    assert execute_request(chaos_request(mode="ok", seed=9)) == {
+        "chaos": "chaos",
+        "seed": 9,
+    }
