@@ -10,9 +10,17 @@ the committed numbers in ``benchmarks/output/kernel_burst.txt``,
 event path: attacker timer chains through the defense hot path),
 failing if any workload is more than ``--tolerance`` slower.
 
+The committed baselines record the *default* backend (``auto``, which
+resolves to the native C kernel when its extension is built and to the
+pure-Python timer wheel otherwise). Slower backends are still budgeted
+— each carries a per-backend fraction of the committed pace it must
+sustain (``BACKEND_BUDGETS``), so a regression in any backend trips the
+check without requiring one baseline file per backend per machine.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_kernel_budget.py --tolerance 0.10
+    PYTHONPATH=src python scripts/check_kernel_budget.py --all-backends
 """
 
 from __future__ import annotations
@@ -25,6 +33,18 @@ import time
 
 BASELINE_PATTERN = re.compile(r"\(([\d,]+) (?:events|timers)/s\)")
 
+#: Fraction of the committed default-backend pace each backend must
+#: sustain. The default backend is held near the baseline; the
+#: pure-Python backends get floors derived from their measured ratios
+#: (wheel ≈ 0.35–0.55×, heap ≈ 0.26–0.36×, calendar ≈ 0.15–0.39× of the
+#: native pace, binding workload taken) with slack for machine noise.
+BACKEND_BUDGETS = {
+    "native": 0.70,
+    "wheel": 0.22,
+    "heap": 0.16,
+    "calendar": 0.09,
+}
+
 
 def read_baseline(path: pathlib.Path) -> float:
     text = path.read_text(encoding="utf-8")
@@ -36,11 +56,11 @@ def read_baseline(path: pathlib.Path) -> float:
     return float(match.group(1).replace(",", ""))
 
 
-def best_rate(workload, operations: int, rounds: int) -> float:
+def best_rate(workload, backend: str, operations: int, rounds: int) -> float:
     best = float("inf")
     for _ in range(rounds):
         start = time.perf_counter()
-        workload()
+        workload(backend)
         best = min(best, time.perf_counter() - start)
     return operations / best
 
@@ -51,10 +71,20 @@ def main(argv=None) -> int:
         "--tolerance",
         type=float,
         default=0.10,
-        help="allowed fractional slowdown vs the committed numbers",
+        help="allowed fractional slowdown vs the budgeted floor",
     )
     parser.add_argument(
         "--rounds", type=int, default=3, help="timing rounds (best is used)"
+    )
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        help="event-queue backend to measure (default: auto)",
+    )
+    parser.add_argument(
+        "--all-backends",
+        action="store_true",
+        help="measure every available backend against its budget",
     )
     args = parser.parse_args(argv)
 
@@ -71,23 +101,38 @@ def main(argv=None) -> int:
         retry_storm,
     )
 
+    from repro.simcore.events import QUEUE_BACKENDS, resolve_queue_backend
+
+    if args.all_backends:
+        backends = sorted(QUEUE_BACKENDS)
+    else:
+        backends = [resolve_queue_backend(args.backend)]
+
     checks = [
         ("burst", drain_burst, BURST_EVENTS, bench_dir / "output" / "kernel_burst.txt"),
         ("retry-storm", retry_storm, 2 * RETRY_TIMERS, bench_dir / "output" / "kernel_retry.txt"),
         ("attack-flood", attack_flood, ATTACK_EVENTS, bench_dir / "output" / "kernel_attack.txt"),
     ]
     failed = False
-    for name, workload, operations, baseline_path in checks:
-        baseline = read_baseline(baseline_path)
-        measured = best_rate(workload, operations, args.rounds)
-        floor = baseline * (1.0 - args.tolerance)
-        verdict = "ok" if measured >= floor else "TOO SLOW"
-        print(
-            f"check_kernel_budget: {name}: {measured:,.0f}/s vs baseline "
-            f"{baseline:,.0f}/s (floor {floor:,.0f}/s) {verdict}"
-        )
-        if measured < floor:
-            failed = True
+    for backend in backends:
+        budget = BACKEND_BUDGETS.get(backend)
+        if budget is None:
+            raise SystemExit(
+                f"check_kernel_budget: no budget for backend {backend!r}; "
+                f"add it to BACKEND_BUDGETS"
+            )
+        for name, workload, operations, baseline_path in checks:
+            baseline = read_baseline(baseline_path)
+            measured = best_rate(workload, backend, operations, args.rounds)
+            floor = baseline * budget * (1.0 - args.tolerance)
+            verdict = "ok" if measured >= floor else "TOO SLOW"
+            print(
+                f"check_kernel_budget: {backend}/{name}: {measured:,.0f}/s "
+                f"vs baseline {baseline:,.0f}/s x budget {budget:.2f} "
+                f"(floor {floor:,.0f}/s) {verdict}"
+            )
+            if measured < floor:
+                failed = True
     return 1 if failed else 0
 
 

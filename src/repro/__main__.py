@@ -90,6 +90,19 @@ def _write_obs_outputs(args, spans, snapshots, run=None) -> None:
         print(f"wrote {rows} metric snapshots to {args.metrics_out}")
 
 
+def _add_queue_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--queue-backend",
+        choices=("auto", "heap", "wheel", "calendar", "native"),
+        default="auto",  # == repro.simcore.events.DEFAULT_QUEUE_BACKEND
+        help=(
+            "simulator event-queue backend; every backend produces "
+            "identical results, this only changes wall time (default: "
+            "auto = native C kernel if built, else timer wheel)"
+        ),
+    )
+
+
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -129,7 +142,11 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
 
     spec = BASELINE_EXPERIMENTS[args.experiment]
     request = baseline_request(
-        spec, probe_count=args.probes, seed=args.seed, obs=_obs_spec(args)
+        spec,
+        probe_count=args.probes,
+        seed=args.seed,
+        obs=_obs_spec(args),
+        queue_backend=args.queue_backend,
     )
     [result] = run_many(
         [request],
@@ -161,7 +178,11 @@ def _cmd_ddos(args: argparse.Namespace) -> int:
     spec = DDOS_EXPERIMENTS[args.experiment]
     print(spec.describe())
     request = ddos_request(
-        spec, probe_count=args.probes, seed=args.seed, obs=_obs_spec(args)
+        spec,
+        probe_count=args.probes,
+        seed=args.seed,
+        obs=_obs_spec(args),
+        queue_backend=args.queue_backend,
     )
     [result] = run_many(
         [request],
@@ -371,6 +392,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         probe_count=args.probes,
         seed=args.seed,
         obs=ObsSpec(profile=True),
+        queue_backend=args.queue_backend,
     )
     profile = result.testbed.profile_summary()
     print()
@@ -386,7 +408,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                     "wall time per sim second",
                     f"{profile['wall_per_sim_second'] * 1e6:.1f} us",
                 ),
-                ("max event-heap depth", f"{profile['max_heap']:,}"),
+                ("max event-queue depth", f"{profile['max_depth']:,}"),
+                ("max cancelled-pending", f"{profile['max_dead']:,}"),
             ],
         )
     )
@@ -450,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     baseline.add_argument("--probes", type=int, default=600)
     _add_runner_flags(baseline)
     _add_obs_flags(baseline)
+    _add_queue_backend_flag(baseline)
     baseline.set_defaults(func=_cmd_baseline)
 
     ddos = subparsers.add_parser("ddos", help="run a Table 4 DDoS experiment")
@@ -462,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_flags(ddos)
     _add_obs_flags(ddos)
+    _add_queue_backend_flag(ddos)
     ddos.set_defaults(func=_cmd_ddos)
 
     analyze = subparsers.add_parser(
@@ -568,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="callback sites listed (by wall time)",
     )
+    _add_queue_backend_flag(profile)
     profile.set_defaults(func=_cmd_profile)
 
     lint = subparsers.add_parser(

@@ -36,6 +36,7 @@ from repro.servers.hierarchy import (
     build_hierarchy,
 )
 from repro.servers.querylog import QueryLog
+from repro.simcore.events import DEFAULT_QUEUE_BACKEND
 from repro.simcore.rng import RandomStreams
 from repro.simcore.simulator import Simulator
 
@@ -78,6 +79,12 @@ class TestbedConfig:
     # Authoritative-side defense layers (repro.defense); None = the
     # paper's infinitely-fast, undefended servers.
     defense: Optional[DefenseSpec] = None
+    # Event-queue backend for the kernel ("auto", "heap", "wheel",
+    # "calendar", or "native" when built). Every backend yields identical
+    # event ordering and therefore identical results; the knob only
+    # trades wall time, but it participates in the cache key like any
+    # other config field.
+    queue_backend: str = DEFAULT_QUEUE_BACKEND
 
 
 class Testbed:
@@ -89,7 +96,7 @@ class Testbed:
     def __init__(self, config: Optional[TestbedConfig] = None) -> None:
         self.config = config or TestbedConfig()
         config = self.config
-        self.sim = Simulator()
+        self.sim = Simulator(queue_backend=config.queue_backend)
         self.obs = Observability.build(config.obs, self.sim)
         tracer = self.obs.tracer
         registry = self.obs.registry
@@ -266,6 +273,9 @@ class Testbed:
         # sampled at snapshot time rather than double-counted on hot paths.
         if registry is not None:
             registry.register_collector("net", self.network.counters.as_dict)
+            # Live/dead (cancelled-pending) event counts: makes the
+            # queue's lazy-deletion bloat visible in metrics snapshots.
+            registry.register_collector("queue", self.sim.queue_stats)
             registry.register_collector(
                 "auth.served",
                 lambda: {

@@ -8,11 +8,16 @@ strong:
   ``…sim.run(...)`` / ``…sim.step(...)`` calls made *inside* a
   callback-path function. Experiments drive the clock from the outside;
   callbacks schedule, they never pump.
-* **Heap mutation stays in the kernel.** The ``(time, seq, event)``
-  heap layout, the lazy-deletion live count, and the ``Event.cancel``
-  span hook are internal contracts of ``repro.simcore.events``. Code
-  anywhere else that touches ``._heap``, imports ``heapq``, or assigns
-  ``sim.now`` bypasses the ``Event`` API and silently breaks them.
+* **Queue internals stay in the kernel.** The ``(time, seq)`` ordering
+  key, the lazy-deletion live/dead counts, and the ``Event.cancel``
+  span hook are internal contracts of ``repro.simcore.events`` — and
+  since the queue became pluggable (heap / timer wheel / calendar /
+  native), so are every backend's private structures. Code anywhere
+  else that touches ``._heap``, reaches into a queue's backend state
+  (``sim._queue._live``, ``…_queue._buckets``, …), imports ``heapq``,
+  or assigns ``sim.now`` bypasses the public ``push``/``pop_due``/
+  ``depth``/``stats`` API and silently breaks those contracts — or
+  breaks outright when the configured backend changes.
 """
 
 from __future__ import annotations
@@ -25,6 +30,43 @@ from repro.lint.driver import Checker, LintContext, SourceFile
 KERNEL_PREFIX = "repro/simcore/"
 
 SIM_RECEIVER_NAMES = frozenset({"sim", "_sim", "simulator"})
+
+#: Private attributes of the event-queue backends (heap / timer wheel /
+#: calendar / native). ``_heap`` is flagged on any receiver (its name is
+#: unambiguous); the rest only when the receiver itself looks like an
+#: event queue, so e.g. a rate limiter's own ``self._buckets`` is fine.
+QUEUE_INTERNAL_ATTRS = frozenset(
+    {
+        "_live",
+        "_dead",
+        "_seq",
+        "_buckets",
+        "_days",
+        "_width",
+        "_day",
+        "_active",
+        "_apos",
+        "_loads",
+        "_loaded",
+        "_inner",
+        "_push_fn",
+        "_pop_due_fn",
+        "_peek_fn",
+        "_drain_fn",
+        "_sched_fn",
+    }
+)
+
+QUEUE_RECEIVER_NAMES = frozenset({"queue", "_queue", "event_queue"})
+
+
+def _receiver_is_queue(node: ast.expr) -> bool:
+    """True for ``queue``, ``sim._queue``, ``self._queue``…"""
+    if isinstance(node, ast.Name):
+        return node.id in QUEUE_RECEIVER_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in QUEUE_RECEIVER_NAMES
+    return False
 
 
 def _receiver_is_simulator(node: ast.expr) -> bool:
@@ -58,6 +100,18 @@ class EventLoopChecker(Checker):
                     node,
                     "direct access to the event queue's `_heap`; schedule "
                     "and cancel through the `Event` API instead",
+                )
+            elif node.attr in QUEUE_INTERNAL_ATTRS and _receiver_is_queue(
+                node.value
+            ):
+                ctx.report(
+                    self.rule,
+                    file,
+                    node,
+                    f"direct access to queue backend internal "
+                    f"`{node.attr}`; use the public `depth()`/`stats()` "
+                    f"API — backend state is private and varies per "
+                    f"backend",
                 )
         elif isinstance(node, ast.Import):
             for alias in node.names:

@@ -1,0 +1,829 @@
+/* Optional compiled event-queue backend for the simulation kernel.
+ *
+ * This is the "native" backend registered in repro.simcore.events when the
+ * shared object is present (see scripts/build_native_kernel.py). It is a
+ * straight C transliteration of the pure-Python heap reference: a binary
+ * heap of (time, seq) keyed entries with lazy deletion of cancelled events.
+ * The ordering contract is identical to every other backend -- (time, seq)
+ * total order, seq assigned from 1 in push order -- so the cross-backend
+ * differential test can replay the same traces against it.
+ *
+ * The win over the pure backends is not the data structure (the Python heap
+ * already runs its sifts in C); it is the removal of interpreter frames:
+ * push, pop and the whole drain loop run without entering the bytecode
+ * interpreter, and the scheduler returned by make_call_later() is a
+ * vectorcall object, so a call_later() during a run costs one C call.
+ *
+ * Reference-ownership notes:
+ *   - Entries in the heap own a reference to their event.
+ *   - event->queue is a BORROWED pointer. Every event with queue != NULL is
+ *     reachable from that queue's heap, and the queue NULLs the pointer
+ *     whenever it releases an entry (pop, drain, clear, dealloc), so the
+ *     pointer can never dangle. This avoids an Event<->Queue refcycle.
+ *   - Both types still participate in GC because callbacks routinely close
+ *     over objects that own the queue (resolver -> sim -> queue -> event ->
+ *     callback -> resolver).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <math.h>
+
+typedef struct CQueueObject CQueue;
+
+typedef struct {
+    PyObject_HEAD
+    double time;
+    long long seq;
+    PyObject *callback; /* owned; NULL once cancelled */
+    PyObject *args;     /* owned tuple */
+    PyObject *span;     /* owned; NULL means None */
+    char cancelled;
+    CQueue *queue;      /* borrowed; NULL once detached (fired/cancelled) */
+} CEvent;
+
+typedef struct {
+    double time;
+    long long seq;
+    CEvent *event; /* owned */
+} Entry;
+
+struct CQueueObject {
+    PyObject_HEAD
+    Entry *heap;
+    Py_ssize_t size;
+    Py_ssize_t capacity;
+    long long seq_counter;
+    Py_ssize_t live;
+    Py_ssize_t dead;
+};
+
+static PyTypeObject CEvent_Type;
+static PyTypeObject CQueue_Type;
+static PyTypeObject CSched_Type;
+
+static PyObject *empty_tuple;
+static PyObject *s_now;
+static PyObject *s_stopped;
+static PyObject *s_events_processed;
+static PyObject *s_emit;
+static PyObject *s_cancelled_word;
+
+/* ------------------------------------------------------------------ */
+/* Event                                                              */
+/* ------------------------------------------------------------------ */
+
+static int
+event_emit_cancel_span(CEvent *self)
+{
+    /* Fire the "cancelled" span terminator, mirroring Event.cancel in
+     * events.py: tracer.emit(trace_id, "cancelled", site). */
+    PyObject *span = self->span;
+    PyObject *tracer, *trace_id, *site, *meth, *result;
+    if (span == NULL || span == Py_None)
+        return 0;
+    self->span = NULL;
+    if (!PyTuple_Check(span) || PyTuple_GET_SIZE(span) != 3) {
+        Py_DECREF(span);
+        PyErr_SetString(PyExc_TypeError, "event span must be a 3-tuple");
+        return -1;
+    }
+    tracer = PyTuple_GET_ITEM(span, 0);
+    trace_id = PyTuple_GET_ITEM(span, 1);
+    site = PyTuple_GET_ITEM(span, 2);
+    meth = PyObject_GetAttr(tracer, s_emit);
+    if (meth == NULL) {
+        Py_DECREF(span);
+        return -1;
+    }
+    result = PyObject_CallFunctionObjArgs(
+        meth, trace_id, s_cancelled_word, site, NULL);
+    Py_DECREF(meth);
+    Py_DECREF(span);
+    if (result == NULL)
+        return -1;
+    Py_DECREF(result);
+    return 0;
+}
+
+static PyObject *
+event_cancel(CEvent *self, PyObject *Py_UNUSED(ignored))
+{
+    if (!self->cancelled) {
+        CQueue *queue = self->queue;
+        self->cancelled = 1;
+        Py_CLEAR(self->callback);
+        Py_INCREF(empty_tuple);
+        Py_XSETREF(self->args, empty_tuple);
+        if (queue != NULL) {
+            queue->live -= 1;
+            queue->dead += 1;
+            self->queue = NULL;
+            if (event_emit_cancel_span(self) < 0)
+                return NULL;
+        }
+        else {
+            Py_CLEAR(self->span);
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+event_get_callback(CEvent *self, void *Py_UNUSED(closure))
+{
+    PyObject *value = self->callback ? self->callback : Py_None;
+    Py_INCREF(value);
+    return value;
+}
+
+static PyObject *
+event_get_args(CEvent *self, void *Py_UNUSED(closure))
+{
+    PyObject *value = self->args ? self->args : empty_tuple;
+    Py_INCREF(value);
+    return value;
+}
+
+static PyObject *
+event_get_span(CEvent *self, void *Py_UNUSED(closure))
+{
+    PyObject *value = self->span ? self->span : Py_None;
+    Py_INCREF(value);
+    return value;
+}
+
+static int
+event_set_span(CEvent *self, PyObject *value, void *Py_UNUSED(closure))
+{
+    if (value == NULL || value == Py_None) {
+        Py_CLEAR(self->span);
+        return 0;
+    }
+    Py_INCREF(value);
+    Py_XSETREF(self->span, value);
+    return 0;
+}
+
+static PyObject *
+event_repr(CEvent *self)
+{
+    char buffer[64];
+    PyOS_snprintf(buffer, sizeof(buffer), "%.6f", self->time);
+    return PyUnicode_FromFormat(
+        "<Event t=%s seq=%lld %s>", buffer, self->seq,
+        self->cancelled ? "cancelled" : "pending");
+}
+
+static int
+event_traverse(CEvent *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->callback);
+    Py_VISIT(self->args);
+    Py_VISIT(self->span);
+    return 0;
+}
+
+static int
+event_clear(CEvent *self)
+{
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->args);
+    Py_CLEAR(self->span);
+    return 0;
+}
+
+static void
+event_dealloc(CEvent *self)
+{
+    PyObject_GC_UnTrack(self);
+    (void)event_clear(self);
+    PyObject_GC_Del(self);
+}
+
+static PyMemberDef event_members[] = {
+    {"time", T_DOUBLE, offsetof(CEvent, time), READONLY,
+     "Absolute simulated firing time."},
+    {"seq", T_LONGLONG, offsetof(CEvent, seq), READONLY,
+     "Scheduling sequence number (ties broken FIFO)."},
+    {"cancelled", T_BOOL, offsetof(CEvent, cancelled), READONLY,
+     "True once cancel() has run."},
+    {NULL},
+};
+
+static PyGetSetDef event_getset[] = {
+    {"callback", (getter)event_get_callback, NULL,
+     "Scheduled callable, or None once cancelled.", NULL},
+    {"args", (getter)event_get_args, NULL,
+     "Positional arguments for the callback.", NULL},
+    {"span", (getter)event_get_span, (setter)event_set_span,
+     "Optional (tracer, trace_id, site) attached by traced timers.", NULL},
+    {NULL},
+};
+
+static PyMethodDef event_methods[] = {
+    {"cancel", (PyCFunction)event_cancel, METH_NOARGS,
+     "Prevent the event from firing. Idempotent."},
+    {NULL},
+};
+
+static PyTypeObject CEvent_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simcore._ckernel.Event",
+    .tp_basicsize = sizeof(CEvent),
+    .tp_dealloc = (destructor)event_dealloc,
+    .tp_repr = (reprfunc)event_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A scheduled callback, cancellable until it fires.",
+    .tp_traverse = (traverseproc)event_traverse,
+    .tp_clear = (inquiry)event_clear,
+    .tp_methods = event_methods,
+    .tp_members = event_members,
+    .tp_getset = event_getset,
+};
+
+/* ------------------------------------------------------------------ */
+/* Queue internals                                                    */
+/* ------------------------------------------------------------------ */
+
+static inline int
+entry_lt(const Entry *a, const Entry *b)
+{
+    if (a->time != b->time)
+        return a->time < b->time;
+    return a->seq < b->seq;
+}
+
+static int
+queue_grow(CQueue *self)
+{
+    Py_ssize_t new_cap = self->capacity ? self->capacity * 2 : 256;
+    Entry *heap = PyMem_Realloc(self->heap, (size_t)new_cap * sizeof(Entry));
+    if (heap == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->heap = heap;
+    self->capacity = new_cap;
+    return 0;
+}
+
+static void
+queue_sift_up(Entry *heap, Py_ssize_t pos)
+{
+    Entry item = heap[pos];
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!entry_lt(&item, &heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = item;
+}
+
+static void
+queue_sift_down(Entry *heap, Py_ssize_t size, Py_ssize_t pos)
+{
+    Entry item = heap[pos];
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= size)
+            break;
+        if (child + 1 < size && entry_lt(&heap[child + 1], &heap[child]))
+            child += 1;
+        if (!entry_lt(&heap[child], &item))
+            break;
+        heap[pos] = heap[child];
+        pos = child;
+    }
+    heap[pos] = item;
+}
+
+/* Remove the root entry. The caller takes over the heap's reference. */
+static CEvent *
+queue_extract_root(CQueue *self)
+{
+    CEvent *event = self->heap[0].event;
+    self->size -= 1;
+    if (self->size > 0) {
+        self->heap[0] = self->heap[self->size];
+        queue_sift_down(self->heap, self->size, 0);
+    }
+    return event;
+}
+
+/* Drop cancelled entries off the root. Returns the root entry, or NULL
+ * when the queue is empty (no Python error). */
+static Entry *
+queue_clean_root(CQueue *self)
+{
+    while (self->size > 0) {
+        Entry *root = &self->heap[0];
+        if (!root->event->cancelled)
+            return root;
+        CEvent *event = queue_extract_root(self);
+        self->dead -= 1;
+        Py_DECREF(event);
+    }
+    return NULL;
+}
+
+/* Core push. Steals a reference to `args`; returns a NEW reference to the
+ * event (the heap keeps its own). */
+static PyObject *
+queue_push_internal(CQueue *self, double time, PyObject *callback,
+                    PyObject *args)
+{
+    CEvent *event;
+    Entry *slot;
+    if (self->size == self->capacity && queue_grow(self) < 0) {
+        Py_DECREF(args);
+        return NULL;
+    }
+    event = PyObject_GC_New(CEvent, &CEvent_Type);
+    if (event == NULL) {
+        Py_DECREF(args);
+        return NULL;
+    }
+    self->seq_counter += 1;
+    event->time = time;
+    event->seq = self->seq_counter;
+    Py_INCREF(callback);
+    event->callback = callback;
+    event->args = args;
+    event->span = NULL;
+    event->cancelled = 0;
+    event->queue = self;
+    PyObject_GC_Track(event);
+
+    slot = &self->heap[self->size];
+    slot->time = time;
+    slot->seq = event->seq;
+    Py_INCREF(event);
+    slot->event = event;
+    queue_sift_up(self->heap, self->size);
+    self->size += 1;
+    self->live += 1;
+    return (PyObject *)event;
+}
+
+/* ------------------------------------------------------------------ */
+/* Queue methods                                                      */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+queue_push(CQueue *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    double time;
+    PyObject *call_args;
+    if (nargs < 2 || nargs > 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "push expects (time, callback[, args])");
+        return NULL;
+    }
+    time = PyFloat_AsDouble(args[0]);
+    if (time == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (nargs == 3) {
+        if (!PyTuple_Check(args[2])) {
+            PyErr_SetString(PyExc_TypeError, "args must be a tuple");
+            return NULL;
+        }
+        call_args = args[2];
+    }
+    else {
+        call_args = empty_tuple;
+    }
+    Py_INCREF(call_args);
+    return queue_push_internal(self, time, args[1], call_args);
+}
+
+static PyObject *
+queue_pop(CQueue *self, PyObject *Py_UNUSED(ignored))
+{
+    Entry *root = queue_clean_root(self);
+    CEvent *event;
+    if (root == NULL)
+        Py_RETURN_NONE;
+    event = queue_extract_root(self);
+    self->live -= 1;
+    event->queue = NULL;
+    return (PyObject *)event; /* transfer the heap's reference */
+}
+
+static PyObject *
+queue_pop_due(CQueue *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *limit = (nargs >= 1) ? args[0] : Py_None;
+    Entry *root;
+    CEvent *event;
+    if (nargs > 1) {
+        PyErr_SetString(PyExc_TypeError, "pop_due expects at most one arg");
+        return NULL;
+    }
+    root = queue_clean_root(self);
+    if (root == NULL)
+        Py_RETURN_NONE;
+    if (limit != Py_None) {
+        double bound = PyFloat_AsDouble(limit);
+        if (bound == -1.0 && PyErr_Occurred())
+            return NULL;
+        if (root->time > bound)
+            Py_RETURN_NONE;
+    }
+    event = queue_extract_root(self);
+    self->live -= 1;
+    event->queue = NULL;
+    return (PyObject *)event;
+}
+
+static PyObject *
+queue_peek_time(CQueue *self, PyObject *Py_UNUSED(ignored))
+{
+    Entry *root = queue_clean_root(self);
+    if (root == NULL)
+        Py_RETURN_NONE;
+    return PyFloat_FromDouble(root->time);
+}
+
+/* Add `fired` to sim.events_processed, preserving any pending exception. */
+static int
+drain_flush_count(PyObject *sim, long long fired)
+{
+    PyObject *exc_type, *exc_value, *exc_tb;
+    PyObject *current, *updated;
+    int status = -1;
+    if (fired == 0)
+        return 0;
+    PyErr_Fetch(&exc_type, &exc_value, &exc_tb);
+    current = PyObject_GetAttr(sim, s_events_processed);
+    if (current != NULL) {
+        PyObject *delta = PyLong_FromLongLong(fired);
+        if (delta != NULL) {
+            updated = PyNumber_Add(current, delta);
+            Py_DECREF(delta);
+            if (updated != NULL) {
+                status = PyObject_SetAttr(sim, s_events_processed, updated);
+                Py_DECREF(updated);
+            }
+        }
+        Py_DECREF(current);
+    }
+    if (exc_type != NULL) {
+        /* The callback's exception outranks any bookkeeping failure. */
+        if (status < 0)
+            PyErr_Clear();
+        PyErr_Restore(exc_type, exc_value, exc_tb);
+        return -1;
+    }
+    return status;
+}
+
+static PyObject *
+queue_drain(CQueue *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *sim, *until;
+    double bound = 0.0;
+    int bounded;
+    long long fired = 0;
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "drain expects (sim, until)");
+        return NULL;
+    }
+    sim = args[0];
+    until = args[1];
+    bounded = (until != Py_None);
+    if (bounded) {
+        bound = PyFloat_AsDouble(until);
+        if (bound == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    for (;;) {
+        Entry *root = queue_clean_root(self);
+        CEvent *event;
+        PyObject *now_obj, *result, *stopped;
+        int truthy;
+        if (root == NULL)
+            break;
+        if (bounded && root->time > bound)
+            break;
+        event = queue_extract_root(self);
+        self->live -= 1;
+        event->queue = NULL;
+
+        now_obj = PyFloat_FromDouble(event->time);
+        if (now_obj == NULL)
+            goto error_with_event;
+        if (PyObject_SetAttr(sim, s_now, now_obj) < 0) {
+            Py_DECREF(now_obj);
+            goto error_with_event;
+        }
+        Py_DECREF(now_obj);
+        fired += 1;
+        result = PyObject_Call(event->callback, event->args, NULL);
+        Py_DECREF(event);
+        if (result == NULL)
+            goto error;
+        Py_DECREF(result);
+
+        stopped = PyObject_GetAttr(sim, s_stopped);
+        if (stopped == NULL)
+            goto error;
+        truthy = PyObject_IsTrue(stopped);
+        Py_DECREF(stopped);
+        if (truthy < 0)
+            goto error;
+        if (truthy)
+            break;
+        continue;
+
+    error_with_event:
+        Py_DECREF(event);
+        goto error;
+    }
+    if (drain_flush_count(sim, fired) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+
+error:
+    (void)drain_flush_count(sim, fired);
+    return NULL;
+}
+
+static PyObject *
+queue_depth(CQueue *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyLong_FromSsize_t(self->live + self->dead);
+}
+
+static Py_ssize_t
+queue_length(CQueue *self)
+{
+    return self->live;
+}
+
+static PyObject *queue_make_call_later(CQueue *self, PyObject *const *args,
+                                       Py_ssize_t nargs);
+
+static int
+cqueue_traverse(CQueue *self, visitproc visit, void *arg)
+{
+    Py_ssize_t index;
+    for (index = 0; index < self->size; index++)
+        Py_VISIT(self->heap[index].event);
+    return 0;
+}
+
+static int
+cqueue_clear(CQueue *self)
+{
+    Py_ssize_t index, size = self->size;
+    self->size = 0;
+    self->live = 0;
+    self->dead = 0;
+    for (index = 0; index < size; index++) {
+        CEvent *event = self->heap[index].event;
+        event->queue = NULL;
+        Py_DECREF(event);
+    }
+    return 0;
+}
+
+static void
+cqueue_dealloc(CQueue *self)
+{
+    PyObject_GC_UnTrack(self);
+    (void)cqueue_clear(self);
+    PyMem_Free(self->heap);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+cqueue_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    CQueue *self = (CQueue *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->heap = NULL;
+    self->size = 0;
+    self->capacity = 0;
+    self->seq_counter = 0;
+    self->live = 0;
+    self->dead = 0;
+    return (PyObject *)self;
+}
+
+static PyMemberDef queue_members[] = {
+    {"_live", T_PYSSIZET, offsetof(CQueue, live), READONLY,
+     "Pending non-cancelled events."},
+    {"_dead", T_PYSSIZET, offsetof(CQueue, dead), READONLY,
+     "Cancelled events awaiting lazy removal."},
+    {NULL},
+};
+
+static PySequenceMethods queue_as_sequence = {
+    .sq_length = (lenfunc)queue_length,
+};
+
+static PyMethodDef queue_methods[] = {
+    {"push", (PyCFunction)queue_push, METH_FASTCALL,
+     "push(time, callback, args=()) -> Event"},
+    {"pop", (PyCFunction)queue_pop, METH_NOARGS,
+     "Remove and return the earliest pending event, or None."},
+    {"pop_due", (PyCFunction)queue_pop_due, METH_FASTCALL,
+     "pop_due(limit=None) -> Event | None"},
+    {"peek_time", (PyCFunction)queue_peek_time, METH_NOARGS,
+     "Time of the earliest pending event, or None."},
+    {"depth", (PyCFunction)queue_depth, METH_NOARGS,
+     "Stored entries including cancelled ones awaiting removal."},
+    {"drain", (PyCFunction)queue_drain, METH_FASTCALL,
+     "drain(sim, until) -> None: fire due events, updating sim state."},
+    {"make_call_later", (PyCFunction)queue_make_call_later, METH_FASTCALL,
+     "make_call_later(sim, error_type) -> callable(delay, cb, *args)"},
+    {NULL},
+};
+
+static PyTypeObject CQueue_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simcore._ckernel.EventHeap",
+    .tp_basicsize = sizeof(CQueue),
+    .tp_dealloc = (destructor)cqueue_dealloc,
+    .tp_as_sequence = &queue_as_sequence,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Binary-heap event queue with lazy deletion (compiled).",
+    .tp_traverse = (traverseproc)cqueue_traverse,
+    .tp_clear = (inquiry)cqueue_clear,
+    .tp_methods = queue_methods,
+    .tp_members = queue_members,
+    .tp_new = cqueue_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* Scheduler: the vectorcall object returned by make_call_later        */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    vectorcallfunc vectorcall;
+    CQueue *queue;   /* owned */
+    PyObject *sim;   /* owned */
+    PyObject *error; /* owned; SimulationError */
+} CSched;
+
+static PyObject *
+sched_vectorcall(CSched *self, PyObject *const *args, size_t nargsf,
+                 PyObject *kwnames)
+{
+    Py_ssize_t nargs = PyVectorcall_NARGS(nargsf);
+    double delay, now;
+    PyObject *now_obj, *call_args;
+    Py_ssize_t index, extra;
+    if (kwnames != NULL && PyTuple_GET_SIZE(kwnames) != 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "call_later takes no keyword arguments");
+        return NULL;
+    }
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "call_later expects (delay, callback, *args)");
+        return NULL;
+    }
+    delay = PyFloat_AsDouble(args[0]);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (!(delay >= 0.0)) {
+        PyErr_Format(self->error, "negative delay %R", args[0]);
+        return NULL;
+    }
+    now_obj = PyObject_GetAttr(self->sim, s_now);
+    if (now_obj == NULL)
+        return NULL;
+    now = PyFloat_AsDouble(now_obj);
+    Py_DECREF(now_obj);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    extra = nargs - 2;
+    if (extra == 0) {
+        call_args = empty_tuple;
+        Py_INCREF(call_args);
+    }
+    else {
+        call_args = PyTuple_New(extra);
+        if (call_args == NULL)
+            return NULL;
+        for (index = 0; index < extra; index++) {
+            PyObject *item = args[2 + index];
+            Py_INCREF(item);
+            PyTuple_SET_ITEM(call_args, index, item);
+        }
+    }
+    return queue_push_internal(self->queue, now + delay, args[1], call_args);
+}
+
+static int
+sched_traverse(CSched *self, visitproc visit, void *arg)
+{
+    Py_VISIT((PyObject *)self->queue);
+    Py_VISIT(self->sim);
+    Py_VISIT(self->error);
+    return 0;
+}
+
+static int
+sched_clear(CSched *self)
+{
+    Py_CLEAR(self->queue);
+    Py_CLEAR(self->sim);
+    Py_CLEAR(self->error);
+    return 0;
+}
+
+static void
+sched_dealloc(CSched *self)
+{
+    PyObject_GC_UnTrack(self);
+    (void)sched_clear(self);
+    PyObject_GC_Del(self);
+}
+
+static PyTypeObject CSched_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simcore._ckernel.Scheduler",
+    .tp_basicsize = sizeof(CSched),
+    .tp_dealloc = (destructor)sched_dealloc,
+    .tp_call = PyVectorcall_Call,
+    .tp_vectorcall_offset = offsetof(CSched, vectorcall),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC
+        | Py_TPFLAGS_HAVE_VECTORCALL,
+    .tp_doc = "Fused call_later(delay, callback, *args) for one simulator.",
+    .tp_traverse = (traverseproc)sched_traverse,
+    .tp_clear = (inquiry)sched_clear,
+};
+
+static PyObject *
+queue_make_call_later(CQueue *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    CSched *sched;
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "make_call_later expects (sim, error_type)");
+        return NULL;
+    }
+    sched = PyObject_GC_New(CSched, &CSched_Type);
+    if (sched == NULL)
+        return NULL;
+    sched->vectorcall = (vectorcallfunc)sched_vectorcall;
+    Py_INCREF(self);
+    sched->queue = self;
+    Py_INCREF(args[0]);
+    sched->sim = args[0];
+    Py_INCREF(args[1]);
+    sched->error = args[1];
+    PyObject_GC_Track(sched);
+    return (PyObject *)sched;
+}
+
+/* ------------------------------------------------------------------ */
+/* Module                                                             */
+/* ------------------------------------------------------------------ */
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.simcore._ckernel",
+    .m_doc = "Compiled event-queue backend (optional; see events.py).",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    PyObject *module = NULL;
+    empty_tuple = PyTuple_New(0);
+    s_now = PyUnicode_InternFromString("now");
+    s_stopped = PyUnicode_InternFromString("_stopped");
+    s_events_processed = PyUnicode_InternFromString("events_processed");
+    s_emit = PyUnicode_InternFromString("emit");
+    s_cancelled_word = PyUnicode_InternFromString("cancelled");
+    if (empty_tuple == NULL || s_now == NULL || s_stopped == NULL
+        || s_events_processed == NULL || s_emit == NULL
+        || s_cancelled_word == NULL)
+        return NULL;
+    if (PyType_Ready(&CEvent_Type) < 0 || PyType_Ready(&CQueue_Type) < 0
+        || PyType_Ready(&CSched_Type) < 0)
+        return NULL;
+    module = PyModule_Create(&ckernel_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&CEvent_Type);
+    if (PyModule_AddObject(module, "Event", (PyObject *)&CEvent_Type) < 0)
+        goto fail;
+    Py_INCREF(&CQueue_Type);
+    if (PyModule_AddObject(module, "EventHeap", (PyObject *)&CQueue_Type) < 0)
+        goto fail;
+    return module;
+fail:
+    Py_DECREF(module);
+    return NULL;
+}

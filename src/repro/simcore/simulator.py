@@ -1,15 +1,19 @@
-"""The simulation kernel: a virtual clock driving an event queue."""
+"""The simulation kernel: a virtual clock driving a pluggable event queue."""
 
 from __future__ import annotations
 
 import time as _walltime
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.simcore.events import Event, EventQueue
+from repro.simcore.events import (
+    DEFAULT_QUEUE_BACKEND,
+    Event,
+    SimulationError,
+    make_queue,
+    resolve_queue_backend,
+)
 
-
-class SimulationError(RuntimeError):
-    """Raised for kernel misuse (e.g., scheduling in the past)."""
+__all__ = ["SimProfile", "SimulationError", "Simulator"]
 
 
 class SimProfile:
@@ -18,15 +22,26 @@ class SimProfile:
     ``sites`` maps a callback site (its ``__qualname__``) to
     ``[calls, wall_seconds]``. The profile accumulates across every
     :meth:`Simulator.run` call after :meth:`Simulator.enable_profiling`.
+    ``max_depth`` tracks the deepest the queue got (live plus
+    lazily-deleted entries); ``max_dead`` isolates the cancelled-pending
+    component so lazy-deletion bloat is observable on its own.
     """
 
-    __slots__ = ("wall_seconds", "sim_seconds", "events", "max_heap", "sites")
+    __slots__ = (
+        "wall_seconds",
+        "sim_seconds",
+        "events",
+        "max_depth",
+        "max_dead",
+        "sites",
+    )
 
     def __init__(self) -> None:
         self.wall_seconds = 0.0
         self.sim_seconds = 0.0
         self.events = 0
-        self.max_heap = 0
+        self.max_depth = 0
+        self.max_dead = 0
         self.sites: Dict[str, List[float]] = {}
 
     def summary(self) -> Dict[str, Any]:
@@ -36,7 +51,8 @@ class SimProfile:
             "wall_seconds": wall,
             "sim_seconds": self.sim_seconds,
             "events": self.events,
-            "max_heap": self.max_heap,
+            "max_depth": self.max_depth,
+            "max_dead": self.max_dead,
             "events_per_second": self.events / wall if wall > 0 else 0.0,
             "wall_per_sim_second": (
                 wall / self.sim_seconds if self.sim_seconds > 0 else 0.0
@@ -52,7 +68,7 @@ class SimProfile:
     def __repr__(self) -> str:
         return (
             f"<SimProfile events={self.events} wall={self.wall_seconds:.3f}s "
-            f"sim={self.sim_seconds:.1f}s max_heap={self.max_heap}>"
+            f"sim={self.sim_seconds:.1f}s max_depth={self.max_depth}>"
         )
 
 
@@ -63,6 +79,12 @@ class Simulator:
     same instant run in scheduling order. The kernel never advances the
     clock past ``until`` when one is given to :meth:`run`.
 
+    ``queue_backend`` selects the event-queue implementation (see
+    ``repro.simcore.events``); every backend yields identical event
+    ordering, so the choice affects wall time only. ``call_later`` is an
+    instance attribute built by the backend: the hot backends fuse the
+    delay check and the queue insert into a single call frame.
+
     Example:
         >>> sim = Simulator()
         >>> fired = []
@@ -72,16 +94,32 @@ class Simulator:
         (5.0, [1])
     """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "now",
+        "queue_backend",
+        "_queue",
+        "_running",
+        "_stopped",
+        "events_processed",
+        "profile",
+        "call_later",
+    )
+
+    #: Schedule ``callback(*args)`` after ``delay`` seconds -> Event.
+    call_later: Callable[..., Event]
+
+    def __init__(self, queue_backend: str = DEFAULT_QUEUE_BACKEND) -> None:
         self.now: float = 0.0
-        self._queue = EventQueue()
+        self.queue_backend = resolve_queue_backend(queue_backend)
+        self._queue = make_queue(queue_backend)
         self._running = False
         self._stopped = False
         self.events_processed = 0
         # Profiling sink, ``None`` unless enable_profiling() was called.
-        # run() checks it exactly once per invocation, so the disabled hot
-        # loop is byte-for-byte the PR 1 kernel.
+        # run() checks it exactly once per invocation, so the unprofiled
+        # loop carries zero instrumentation.
         self.profile: Optional[SimProfile] = None
+        self.call_later = self._queue.make_call_later(self)
 
     def enable_profiling(self) -> SimProfile:
         """Switch :meth:`run` to the instrumented loop; returns the profile."""
@@ -92,20 +130,11 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def call_later(
-        self, delay: float, callback: Callable[..., Any], *args: Any
-    ) -> Event:
-        """Schedule ``callback(*args)`` after ``delay`` seconds."""
-        # Fast path: valid delays go straight to the queue. This method is
-        # the kernel's hottest entry point (every timer, retry, and packet
-        # hop), so the error branch is kept off the common path.
-        if delay >= 0:
-            return self._queue.push(self.now + delay, callback, args)
-        raise SimulationError(f"negative delay {delay!r}")
-
     def at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
-        if time < self.now:
+        # Inverted comparison so NaN (which fails every comparison) is
+        # rejected instead of poisoning the queue order.
+        if not (time >= self.now):
             raise SimulationError(
                 f"cannot schedule at {time!r}, clock already at {self.now!r}"
             )
@@ -119,7 +148,9 @@ class Simulator:
 
         When ``until`` is given, the clock is left exactly at ``until`` even
         if the queue drained earlier, so repeated ``run(until=...)`` calls
-        advance time monotonically.
+        advance time monotonically. Events sharing a timestamp are fired
+        as a batch by the queue's ``drain`` hook, which also maintains
+        ``now`` and ``events_processed``.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -127,15 +158,8 @@ class Simulator:
             return self._run_profiled(until)
         self._running = True
         self._stopped = False
-        pop_due = self._queue.pop_due
         try:
-            while not self._stopped:
-                event = pop_due(until)
-                if event is None:
-                    break
-                self.now = event.time
-                self.events_processed += 1
-                event.callback(*event.args)
+            self._queue.drain(self, until)
             if until is not None and until > self.now and not self._stopped:
                 self.now = until
         finally:
@@ -147,14 +171,17 @@ class Simulator:
         Kept separate so the unprofiled loop carries zero instrumentation;
         this one pays two ``perf_counter`` reads per event to attribute
         wall time to callback sites (by ``__qualname__``) and to track
-        heap depth.
+        queue depth through the backend-neutral ``depth()``/``_dead``
+        surface. It pops one event at a time, which is slower than the
+        batched drain but observably identical.
         """
         profile = self.profile
         assert profile is not None
         self._running = True
         self._stopped = False
-        pop_due = self._queue.pop_due
-        heap = self._queue._heap
+        queue = self._queue
+        pop_due = queue.pop_due
+        depth = queue.depth
         # The profiler measures *real* elapsed time per callback site by
         # design; it never feeds simulation state.
         perf = _walltime.perf_counter  # repro-lint: allow[determinism]
@@ -163,9 +190,12 @@ class Simulator:
         loop_start = perf()
         try:
             while not self._stopped:
-                heap_depth = len(heap)
-                if heap_depth > profile.max_heap:
-                    profile.max_heap = heap_depth
+                queue_depth = depth()
+                if queue_depth > profile.max_depth:
+                    profile.max_depth = queue_depth
+                dead = queue._dead
+                if dead > profile.max_dead:
+                    profile.max_dead = dead
                 event = pop_due(until)
                 if event is None:
                     break
@@ -215,3 +245,8 @@ class Simulator:
     def pending(self) -> int:
         """Number of live (non-cancelled) scheduled events."""
         return len(self._queue)
+
+    def queue_stats(self) -> Dict[str, Any]:
+        """Backend name plus live/dead/depth counts for the event queue."""
+        stats: Dict[str, Any] = self._queue.stats()
+        return stats

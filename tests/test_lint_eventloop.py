@@ -22,6 +22,33 @@ def test_heap_access_outside_kernel_flagged():
     assert "_heap" in findings[0].message
 
 
+def test_queue_backend_internal_access_flagged():
+    findings = lint(
+        """
+        def live_count(sim):
+            return sim._queue._live
+        """
+    )
+    assert len(findings) == 1
+    assert "_live" in findings[0].message and "stats()" in findings[0].message
+
+
+def test_queue_internal_names_on_other_receivers_allowed():
+    # A rate limiter's own `self._buckets` is not queue state; only
+    # queue-shaped receivers are flagged for the backend-internal names.
+    findings = lint(
+        """
+        class RateLimiter:
+            def __init__(self):
+                self._buckets = {}
+
+            def observe(self, prefix):
+                return self._buckets.get(prefix)
+        """
+    )
+    assert findings == []
+
+
 def test_heapq_import_outside_kernel_flagged():
     assert len(lint("import heapq\n")) == 1
     assert len(lint("from heapq import heappush\n")) == 1

@@ -27,7 +27,8 @@ def test_profile_counts_events_and_sites():
     assert profile.events == 10
     assert profile.sim_seconds == 9.0
     assert profile.wall_seconds > 0
-    assert profile.max_heap >= 1
+    assert profile.max_depth >= 1
+    assert profile.max_dead >= 0
     summary = profile.summary()
     assert summary["events"] == 10
     assert summary["events_per_second"] > 0
@@ -64,7 +65,8 @@ def test_profiled_ddos_run_reports_summary():
     profile = result.testbed.profile_summary()
     assert profile is not None
     assert profile["events"] > 0
-    assert profile["max_heap"] > 0
+    assert profile["max_depth"] > 0
+    assert profile["max_dead"] >= 0
     assert profile["sites"], "no callback sites recorded"
     # Sites are ordered by wall time, descending.
     walls = [stats["wall_seconds"] for stats in profile["sites"].values()]

@@ -1,0 +1,166 @@
+"""Cross-backend differential tests: every queue is the same queue.
+
+The heap backend is the always-correct reference; the timer wheel,
+calendar queue, and native kernel must replay any trace of operations
+with byte-identical observable behavior — the same ``(time, seq)`` fire
+sequence, the same clock, the same live/dead accounting. These tests
+replay seeded random traces against every available backend and diff
+them against the reference, then check the property end to end: a full
+experiment run and its cache key are unchanged by the backend knob
+(modulo the knob itself).
+"""
+
+import random
+
+import pytest
+
+from repro.simcore.events import QUEUE_BACKENDS, make_queue
+from repro.simcore.simulator import Simulator
+
+BACKENDS = sorted(QUEUE_BACKENDS)
+ALTERNATES = [name for name in BACKENDS if name != "heap"]
+
+
+# ----------------------------------------------------------------------
+# Raw queue protocol: seeded push/cancel/pop/pop_due/peek traces
+# ----------------------------------------------------------------------
+def _replay_queue_trace(backend: str, seed: int):
+    """Apply one seeded operation trace; return every observable output.
+
+    Times never go below the latest popped time (the simulator clock is
+    monotone, and ``Simulator.at`` enforces it), but pushes *at* already
+    -served instants are generated on purpose — that is the zero-delay
+    reschedule shape the wheel's active-slot merge must order correctly.
+    """
+    rng = random.Random(seed)
+    queue = make_queue(backend)
+    live = []
+    floor = 0.0
+    log = []
+    for _ in range(2000):
+        op = rng.random()
+        if op < 0.45:
+            time = floor + rng.choice((0.0, rng.random() * 50.0))
+            event = queue.push(time, lambda: None)
+            live.append(event)
+            log.append(("push", event.time, event.seq))
+        elif op < 0.60 and live:
+            event = live.pop(rng.randrange(len(live)))
+            event.cancel()
+            event.cancel()  # idempotence must hold mid-trace too
+            log.append(("cancel", event.time, event.seq))
+        elif op < 0.75:
+            event = queue.pop()
+            if event is not None:
+                floor = event.time
+                log.append(("pop", event.time, event.seq))
+            else:
+                log.append(("pop", None))
+        elif op < 0.90:
+            limit = floor + rng.random() * 20.0
+            event = queue.pop_due(limit)
+            if event is not None:
+                floor = event.time
+                log.append(("pop_due", event.time, event.seq))
+            else:
+                log.append(("pop_due", None))
+        else:
+            log.append(("peek", queue.peek_time(), len(queue)))
+    while (event := queue.pop()) is not None:
+        log.append(("drain", event.time, event.seq))
+    log.append(("final", len(queue), queue.peek_time()))
+    return log
+
+
+@pytest.mark.parametrize("backend", ALTERNATES)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_queue_trace_matches_heap_reference(backend, seed):
+    assert _replay_queue_trace(backend, seed) == _replay_queue_trace(
+        "heap", seed
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulator drain path: batched dispatch vs reference stepping
+# ----------------------------------------------------------------------
+def _replay_sim_trace(backend: str, seed: int):
+    """A seeded timer workload driven through ``run(until)`` segments.
+
+    Mixes the shapes the experiments produce: same-instant bursts,
+    cancel-before-fire (resolver retries), zero-delay reschedules, and
+    callbacks that schedule more work — all across several bounded run
+    windows, so the trace also covers events left queued at a limit.
+    """
+    rng = random.Random(seed)
+    sim = Simulator(queue_backend=backend)
+    fired = []
+    timers = []
+
+    def note(tag):
+        fired.append((round(sim.now, 9), tag))
+
+    def reschedule(tag, remaining):
+        note(tag)
+        if remaining:
+            delay = rng.choice((0.0, 0.25, 1.0))
+            sim.call_later(delay, reschedule, tag, remaining - 1)
+
+    for index in range(300):
+        shape = rng.random()
+        when = rng.random() * 90.0
+        if shape < 0.5:
+            timers.append(sim.at(when, note, index))
+        elif shape < 0.8:
+            sim.at(when, reschedule, index, rng.randrange(4))
+        else:
+            victim_base = rng.random() * 90.0
+            victim = sim.at(victim_base + 5.0, note, ("victim", index))
+            if rng.random() < 0.8:
+                sim.at(victim_base, lambda v=victim: v.cancel())
+    for cut in (20.0, 20.0, 55.5, None):  # repeat limit: empty window
+        sim.run(until=cut)
+    return fired, sim.now, sim.events_processed, sim.pending()
+
+
+@pytest.mark.parametrize("backend", ALTERNATES)
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_sim_trace_matches_heap_reference(backend, seed):
+    assert _replay_sim_trace(backend, seed) == _replay_sim_trace(
+        "heap", seed
+    )
+
+
+# ----------------------------------------------------------------------
+# End to end: experiment results and cache keys
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ALTERNATES)
+def test_ddos_run_identical_across_backends(backend):
+    from repro.core.experiments.ddos import DDOS_EXPERIMENTS, run_ddos
+
+    spec = DDOS_EXPERIMENTS["G"]
+    reference = run_ddos(spec, probe_count=10, seed=5, queue_backend="heap")
+    candidate = run_ddos(spec, probe_count=10, seed=5, queue_backend=backend)
+    assert [
+        (answer.probe_id, answer.status, answer.sent_at, answer.answered_at)
+        for answer in reference.answers
+    ] == [
+        (answer.probe_id, answer.status, answer.sent_at, answer.answered_at)
+        for answer in candidate.answers
+    ]
+    assert reference.outcomes_by_round() == candidate.outcomes_by_round()
+
+
+def test_cache_key_depends_only_on_requested_backend():
+    from repro.core.experiments.ddos import DDOS_EXPERIMENTS
+    from repro.runner.cache import cache_key
+    from repro.runner.executor import ddos_request
+
+    spec = DDOS_EXPERIMENTS["G"]
+    default = ddos_request(spec, probe_count=10, seed=5)
+    same = ddos_request(spec, probe_count=10, seed=5, queue_backend="auto")
+    explicit = ddos_request(spec, probe_count=10, seed=5, queue_backend="heap")
+    # "auto" keys as the requested name, not the machine-dependent
+    # resolution — the same request hits the same cache entry whether or
+    # not the native kernel is built there.
+    assert cache_key(default) == cache_key(same)
+    assert cache_key(default) != cache_key(explicit)
