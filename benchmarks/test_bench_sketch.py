@@ -1,0 +1,93 @@
+"""Per-source accounting cost: exact dictionary vs streaming sketches.
+
+The flight recorder's :class:`~repro.obs.sketch.SourceSketch` sits on
+the authoritative offered-load hot path (one ``update`` per offered
+query), so its per-update cost is what the timeline feature charges a
+telemetry-enabled run. This benchmark times it against the exact
+per-source dictionary the query log already maintains — the baseline it
+must stay within a small constant factor of — and records the accuracy
+it buys: heavy-hitter counts within ``epsilon * N`` of exact on a
+Zipf-skewed source stream shaped like a spoofed flood over a legitimate
+population.
+"""
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.obs import SourceSketch
+
+STREAM_LENGTH = 100_000
+DISTINCT_SOURCES = 2_000
+SEED = 42
+
+
+def build_stream():
+    """Zipf-skewed source stream: few attackers dominate a long tail."""
+    rng = random.Random(SEED)
+    sources = [
+        f"100.64.{rank // 256}.{rank % 256}"
+        for rank in range(DISTINCT_SOURCES)
+    ]
+    weights = [1.0 / (rank + 1) for rank in range(DISTINCT_SOURCES)]
+    return rng.choices(sources, weights=weights, k=STREAM_LENGTH)
+
+
+def exact_accounting(stream):
+    counts = {}
+    for src in stream:
+        counts[src] = counts.get(src, 0) + 1
+    return counts
+
+
+def sketch_accounting(stream):
+    sketch = SourceSketch(epsilon=0.01, delta=0.01, topk=16)
+    update = sketch.update
+    for src in stream:
+        update(src)
+    return sketch
+
+
+def test_bench_source_accounting_exact_vs_sketch(benchmark, output_dir):
+    stream = build_stream()
+    truth = exact_accounting(stream)
+
+    sketch = benchmark.pedantic(
+        lambda: sketch_accounting(stream), rounds=3, iterations=1
+    )
+    sketch_seconds = benchmark.stats.stats.min
+
+    # Time the exact dictionary inline (one benchmark fixture per test).
+    import time
+
+    exact_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        exact_accounting(stream)
+        exact_seconds = min(exact_seconds, time.perf_counter() - start)
+
+    # The accuracy the sketch buys at its fixed footprint.
+    bound = sketch.cms.error_bound()
+    worst = max(
+        abs(count - truth[src])
+        for src, count, _error in sketch.heavy_hitters(10)
+    )
+    assert worst <= bound
+    assert sketch.total == STREAM_LENGTH
+
+    emit(
+        output_dir,
+        "sketch_accounting",
+        "Per-source accounting over "
+        f"{STREAM_LENGTH} queries / {DISTINCT_SOURCES} sources (Zipf):\n"
+        f"  exact dict   {exact_seconds * 1e3:8.1f} ms "
+        f"({STREAM_LENGTH / exact_seconds:,.0f} updates/s)\n"
+        f"  SourceSketch {sketch_seconds * 1e3:8.1f} ms "
+        f"({STREAM_LENGTH / sketch_seconds:,.0f} updates/s, "
+        f"{sketch_seconds / exact_seconds:.1f}x exact)\n"
+        f"  top-10 worst absolute error {worst} "
+        f"(bound epsilon*N = {bound:.0f}), "
+        f"distinct estimate {sketch.distinct():.0f} "
+        f"vs true {len(truth)}",
+    )

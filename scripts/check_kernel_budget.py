@@ -2,7 +2,10 @@
 """Assert the simulation kernel stays within budget of its recorded pace.
 
 The observability layer promises to be zero-cost when disabled; this
-script enforces that promise. It re-runs the kernel micro-benchmark
+script enforces that promise twice over. First structurally: a testbed
+built without an ``ObsSpec`` must hold no registry, recorder, or
+per-source sketch and must record no telemetry after a short run
+(:func:`assert_zero_cost_disabled`). Then by pace: it re-runs the kernel micro-benchmark
 workloads from ``benchmarks/test_bench_kernel.py`` (tracing and
 profiling off, best of ``--rounds``) and compares the throughput against
 the committed numbers in ``benchmarks/output/kernel_burst.txt``,
@@ -65,6 +68,51 @@ def best_rate(workload, backend: str, operations: int, rounds: int) -> float:
     return operations / best
 
 
+def assert_zero_cost_disabled() -> None:
+    """Structurally verify the zero-cost-when-disabled promise.
+
+    The throughput floors below catch observability overhead only when
+    it is large enough to show up as a slowdown. This check pins the
+    mechanism itself: with no ``ObsSpec``, a testbed must hold *no*
+    observability objects at all — no metrics registry, no flight
+    recorder, no per-source sketch — so the hot paths capture ``None``
+    sinks at construction and skip every telemetry branch.
+    """
+    from repro.clients.population import PopulationConfig
+    from repro.core.testbed import Testbed, TestbedConfig
+
+    testbed = Testbed(
+        TestbedConfig(
+            seed=1, population=PopulationConfig(probe_count=2)
+        )
+    )
+    problems = []
+    if testbed.obs.registry is not None:
+        problems.append("metrics registry built without an ObsSpec")
+    if testbed.obs.recorder is not None:
+        problems.append("flight recorder built without a TimelineSpec")
+    if testbed.source_sketch is not None:
+        problems.append("source sketch built without a TimelineSpec")
+    testbed.schedule_probing(0.0, 30.0, 2)
+    testbed.run(60.0, grace=5.0)
+    if testbed.timeline_points:
+        problems.append(
+            f"{len(testbed.timeline_points)} timeline points recorded "
+            "with telemetry disabled"
+        )
+    if testbed.metric_snapshots:
+        problems.append(
+            f"{len(testbed.metric_snapshots)} metric snapshots recorded "
+            "with telemetry disabled"
+        )
+    if problems:
+        raise SystemExit(
+            "check_kernel_budget: zero-cost-when-disabled violated: "
+            + "; ".join(problems)
+        )
+    print("check_kernel_budget: zero-cost-when-disabled: ok")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -102,6 +150,8 @@ def main(argv=None) -> int:
     )
 
     from repro.simcore.events import QUEUE_BACKENDS, resolve_queue_backend
+
+    assert_zero_cost_disabled()
 
     if args.all_backends:
         backends = sorted(QUEUE_BACKENDS)

@@ -1,49 +1,26 @@
 #!/usr/bin/env python
 """Validate a span-trace JSONL file (schema + lifecycle completeness).
 
-Checks every row against the span schema and every trace for chain
-completeness: exactly one ``issue`` span first, exactly one terminal
-outcome span, no orphans. This is the acceptance gate CI applies to the
-traced smoke run.
-
-Usage::
+Compatibility shim: span validation now lives in
+``scripts/validate_telemetry.py``, which handles both telemetry export
+formats (span traces and flight-recorder timelines) behind one schema
+gate. This entry point remains so existing CI invocations and docs keep
+working::
 
     PYTHONPATH=src python scripts/validate_spans.py spans.jsonl
+
+is now exactly ``python scripts/validate_telemetry.py --kind spans``.
 """
 
 from __future__ import annotations
 
-import argparse
+import pathlib
 import sys
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("path", help="span JSONL file (from --trace)")
-    args = parser.parse_args(argv)
-
-    from repro.obs import SpanFormatError, import_spans, validate_span_chains
-
-    with open(args.path, "r", encoding="utf-8") as stream:
-        try:
-            spans = import_spans(stream)
-        except SpanFormatError as exc:
-            print(f"validate_spans: {args.path}: {exc}", file=sys.stderr)
-            return 1
-    if not spans:
-        print(f"validate_spans: {args.path}: no spans", file=sys.stderr)
-        return 1
-    try:
-        chains = validate_span_chains(spans)
-    except SpanFormatError as exc:
-        print(f"validate_spans: {args.path}: {exc}", file=sys.stderr)
-        return 1
-    print(
-        f"validate_spans: {args.path}: {len(spans)} spans, "
-        f"{len(chains)} complete query lifecycles"
-    )
-    return 0
+from validate_telemetry import main  # noqa: E402
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["--kind", "spans", *sys.argv[1:]]))

@@ -62,20 +62,46 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="collect component metrics and write per-round snapshots as JSONL",
     )
+    parser.add_argument(
+        "--timeline",
+        metavar="PATH",
+        help=(
+            "record sim-time telemetry timelines (flight recorder + "
+            "per-source sketches) and write the points as JSONL; render "
+            "with 'repro timeline PATH'"
+        ),
+    )
+    parser.add_argument(
+        "--timeline-interval",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="flight-recorder sampling cadence in sim seconds (default: 60)",
+    )
 
 
 def _obs_spec(args: argparse.Namespace):
-    """Build the run's ``ObsSpec`` from ``--trace``/``--metrics-out``."""
+    """Build the run's ``ObsSpec`` from the observability flags."""
     trace = getattr(args, "trace", None)
     metrics = getattr(args, "metrics_out", None)
-    if trace is None and metrics is None:
+    timeline = getattr(args, "timeline", None)
+    if trace is None and metrics is None and timeline is None:
         return None
-    from repro.obs import ObsSpec
+    from repro.obs import ObsSpec, TimelineSpec
 
-    return ObsSpec(trace=trace is not None, metrics=metrics is not None)
+    timeline_spec = (
+        TimelineSpec(interval=args.timeline_interval)
+        if timeline is not None
+        else None
+    )
+    return ObsSpec(
+        trace=trace is not None,
+        metrics=metrics is not None,
+        timeline=timeline_spec,
+    )
 
 
-def _write_obs_outputs(args, spans, snapshots, run=None) -> None:
+def _write_obs_outputs(args, spans, snapshots, timeline_points=(), run=None) -> None:
     if getattr(args, "trace", None):
         from repro.obs import export_spans
 
@@ -88,6 +114,12 @@ def _write_obs_outputs(args, spans, snapshots, run=None) -> None:
         with open(args.metrics_out, "w", encoding="utf-8") as stream:
             rows = export_metrics(snapshots, stream, run=run)
         print(f"wrote {rows} metric snapshots to {args.metrics_out}")
+    if getattr(args, "timeline", None):
+        from repro.obs import export_timeline
+
+        with open(args.timeline, "w", encoding="utf-8") as stream:
+            rows = export_timeline(timeline_points, stream, run=run)
+        print(f"wrote {rows} timeline points to {args.timeline}")
 
 
 def _add_queue_backend_flag(parser: argparse.ArgumentParser) -> None:
@@ -161,6 +193,7 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
         args,
         result.spans,
         result.metric_snapshots,
+        result.timeline_points,
         run=f"baseline-{args.experiment}",
     )
     print(render_kv_table(f"Dataset (TTL {args.experiment})", result.dataset.as_rows()))
@@ -197,6 +230,7 @@ def _cmd_ddos(args: argparse.Namespace) -> int:
         args,
         result.testbed.spans,
         result.testbed.metric_snapshots,
+        result.timeline_points,
         run=f"ddos-{args.experiment}",
     )
     if args.export_trace:
@@ -299,6 +333,73 @@ def _cmd_analyze_trace(args: argparse.Namespace) -> int:
             analysis.as_rows(),
         )
     )
+    return 0
+
+
+def _attack_window_for(args: argparse.Namespace, run_label: str):
+    """The attack window to annotate: explicit flag, else from the run key."""
+    if args.attack_window:
+        try:
+            start_text, end_text = args.attack_window.split(":", 1)
+            return (float(start_text), float(end_text))
+        except ValueError:
+            raise SystemExit(
+                f"error: --attack-window must be START:END seconds, got "
+                f"{args.attack_window!r}"
+            )
+    if run_label.startswith("ddos-"):
+        key = run_label[len("ddos-"):]
+        if key in DDOS_EXPERIMENTS:
+            return DDOS_EXPERIMENTS[key].attack_window
+    return None
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        SpanFormatError,
+        import_timeline,
+        render_timeline,
+        render_timeline_csv,
+        validate_timeline,
+    )
+
+    with open(args.path, "r", encoding="utf-8") as stream:
+        try:
+            by_run = import_timeline(stream)
+        except SpanFormatError as exc:
+            raise SystemExit(f"error: {args.path}: {exc}")
+    if not by_run:
+        raise SystemExit(f"error: {args.path}: no timeline points")
+    if args.run is not None:
+        if args.run not in by_run:
+            known = ", ".join(sorted(label or "(unlabelled)" for label in by_run))
+            raise SystemExit(
+                f"error: {args.path}: no run {args.run!r} (runs: {known})"
+            )
+        by_run = {args.run: by_run[args.run]}
+    series = args.series.split(",") if args.series else None
+    blocks = []
+    for label, points in by_run.items():
+        try:
+            validate_timeline(points)
+        except SpanFormatError as exc:
+            raise SystemExit(f"error: {args.path}: run {label or '?'}: {exc}")
+        try:
+            if args.format == "csv":
+                blocks.append(render_timeline_csv(points, series))
+            else:
+                title = f"{label or 'timeline'}: {len(points)} samples"
+                blocks.append(
+                    render_timeline(
+                        points,
+                        series,
+                        attack_window=_attack_window_for(args, label),
+                        title=title,
+                    )
+                )
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+    print("\n\n".join(blocks))
     return 0
 
 
@@ -441,6 +542,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         cache=_make_cache(args),
         trace_path=args.trace,
         metrics_path=args.metrics_out,
+        timeline_path=args.timeline,
+        timeline_interval=args.timeline_interval,
         include_defense=args.defense,
         keep_going=args.keep_going,
         failure_ledger=ledger,
@@ -514,6 +617,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="slowest lifecycles listed by trace-summary mode",
     )
     analyze.set_defaults(func=_cmd_analyze_trace)
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        help="render a --timeline JSONL export (flight-recorder series)",
+    )
+    timeline.add_argument("path", help="JSONL timeline file")
+    timeline.add_argument(
+        "--format",
+        choices=["text", "csv"],
+        default="text",
+        help="text table (default) or CSV",
+    )
+    timeline.add_argument(
+        "--series",
+        metavar="NAME[,NAME...]",
+        help=(
+            "comma list of series to render (default: the headline "
+            "series present in the file plus any sketch.* series)"
+        ),
+    )
+    timeline.add_argument(
+        "--run",
+        metavar="LABEL",
+        help="render only this run's timeline (e.g. ddos-H)",
+    )
+    timeline.add_argument(
+        "--attack-window",
+        metavar="START:END",
+        help=(
+            "annotate samples inside this sim-time window (seconds); "
+            "derived automatically from ddos-<exp> run labels"
+        ),
+    )
+    timeline.set_defaults(func=_cmd_timeline)
 
     software = subparsers.add_parser(
         "software", help="BIND/Unbound retry study (Appendix E)"
@@ -636,4 +773,11 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-render (timeline and
+        # trace outputs can exceed the pipe buffer); exit quietly the way
+        # well-behaved Unix filters do.
+        sys.stderr.close()
+        sys.exit(141)  # 128 + SIGPIPE

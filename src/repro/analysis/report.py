@@ -55,6 +55,8 @@ def build_report(
     cache: Optional["DiskCache"] = None,
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
+    timeline_path: Optional[str] = None,
+    timeline_interval: float = 60.0,
     include_defense: bool = False,
     keep_going: bool = False,
     failure_ledger: Optional[List["RunFailure"]] = None,
@@ -69,6 +71,10 @@ def build_report(
     ``trace_path``/``metrics_path`` enable tracing/metrics on every
     baseline and DDoS run and write the combined telemetry as JSONL, with
     a ``run`` key (``baseline-1800``, ``ddos-H``) distinguishing rows.
+    ``timeline_path`` arms the flight recorder (sampling every
+    ``timeline_interval`` sim seconds) the same way, exports every run's
+    timeline, and appends a flight-recorder section plotting
+    client-visible reliability against the authoritative-side series.
 
     ``include_defense`` appends the beyond-the-paper layered-defense
     grid (``repro.core.experiments.defense_study``); off by default so
@@ -95,9 +101,21 @@ def build_report(
     )
 
     obs = None
-    if trace_path is not None or metrics_path is not None:
+    if (
+        trace_path is not None
+        or metrics_path is not None
+        or timeline_path is not None
+    ):
+        from repro.obs import TimelineSpec
+
         obs = ObsSpec(
-            trace=trace_path is not None, metrics=metrics_path is not None
+            trace=trace_path is not None,
+            metrics=metrics_path is not None,
+            timeline=(
+                TimelineSpec(interval=timeline_interval)
+                if timeline_path is not None
+                else None
+            ),
         )
 
     # Real wall-clock on purpose: the report footer tells the operator
@@ -176,12 +194,17 @@ def build_report(
     probe = next(battery)
 
     if obs is not None:
-        from repro.obs import export_metrics, export_spans
+        from repro.obs import export_metrics, export_spans, export_timeline
 
         # Failed runs have no telemetry to export; their ledger entry is
         # the record of what is missing from the JSONL outputs.
         telemetry = [
-            (f"baseline-{key}", result.spans, result.metric_snapshots)
+            (
+                f"baseline-{key}",
+                result.spans,
+                result.metric_snapshots,
+                result.timeline_points,
+            )
             for key, result in baselines.items()
             if not isinstance(result, RunFailure)
         ] + [
@@ -189,18 +212,23 @@ def build_report(
                 f"ddos-{key}",
                 result.testbed.spans,
                 result.testbed.metric_snapshots,
+                result.timeline_points,
             )
             for key, result in ddos.items()
             if not isinstance(result, RunFailure)
         ]
         if trace_path is not None:
             with open(trace_path, "w", encoding="utf-8") as stream:
-                for run, spans, _ in telemetry:
+                for run, spans, _, _ in telemetry:
                     export_spans(spans, stream, run=run)
         if metrics_path is not None:
             with open(metrics_path, "w", encoding="utf-8") as stream:
-                for run, _, snapshots in telemetry:
+                for run, _, snapshots, _ in telemetry:
                     export_metrics(snapshots, stream, run=run)
+        if timeline_path is not None:
+            with open(timeline_path, "w", encoding="utf-8") as stream:
+                for run, _, _, points in telemetry:
+                    export_timeline(points, stream, run=run)
 
     out("# EXPERIMENTS — paper vs measured")
     out("")
@@ -343,6 +371,50 @@ def build_report(
             f"{pre_mean:.0f}→{mid_mean:.0f} per round |"
         )
         out("")
+
+    # ------------------------------------------------------------------
+    if timeline_path is not None:
+        with section("Flight recorder — client reliability vs authoritative load"):
+            from repro.analysis.figures import sparkline
+
+            out("## Flight recorder — client reliability vs authoritative load")
+            out("")
+            out(
+                "Sim-time telemetry timelines sampled every "
+                f"{timeline_interval:.0f} s by the flight recorder "
+                f"(exported per run to `{timeline_path}`; render with "
+                "`repro timeline`). Each sparkline spans the full run, "
+                "attack window marked under the axis; client-visible "
+                "reliability is plotted against the authoritative-side "
+                "offered/served series that drive it."
+            )
+            out("")
+            for key in ("A", "H"):
+                result = ddos[key]
+                if isinstance(result, RunFailure):
+                    raise RunFailureError([result])
+                points = result.timeline_points
+                if not points:
+                    continue
+                start, end = result.spec.attack_window
+                axis = "".join(
+                    "*" if start <= point.time < end else "-"
+                    for point in points
+                )
+                out(f"Experiment {key} ({result.spec.describe()}):")
+                out("")
+                out("```")
+                for name in (
+                    "client_ok_ratio",
+                    "offered_qps",
+                    "served_qps",
+                    "sketch.entropy_bits",
+                ):
+                    values = [point.values.get(name, 0.0) for point in points]
+                    out(f"{name:>20} {sparkline(values, width=len(points))}")
+                out(f"{'attack window':>20} {axis}")
+                out("```")
+                out("")
 
     # ------------------------------------------------------------------
     with section("Glue vs authoritative TTL (Appendix A) — Tables 5–6"):

@@ -94,6 +94,7 @@ class BaselineResult:
     # carried directly and survives pickling through the runner cache.
     spans: List = field(default_factory=list, repr=False)
     metric_snapshots: List = field(default_factory=list, repr=False)
+    timeline_points: List = field(default_factory=list, repr=False)
     profile: Optional[dict] = field(default=None, repr=False)
 
     @property
@@ -181,5 +182,6 @@ def run_baseline(
         answers=answers,
         spans=list(testbed.spans),
         metric_snapshots=list(testbed.metric_snapshots),
+        timeline_points=list(testbed.timeline_points),
         profile=testbed.profile_summary(),
     )

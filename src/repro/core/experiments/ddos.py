@@ -101,6 +101,15 @@ class DDoSResult:
     classified: List[ClassifiedAnswer]
     testbed: Testbed = field(repr=False)
 
+    @property
+    def timeline_points(self):
+        """Flight-recorder timeline (empty without a ``TimelineSpec``).
+
+        Works against the live testbed and the detached
+        :class:`~repro.runner.results.TestbedSnapshot` alike.
+        """
+        return self.testbed.timeline_points
+
     # ------------------------------------------------------------------
     # Client-side series
     # ------------------------------------------------------------------

@@ -231,8 +231,20 @@ class Testbed:
 
         # Offered-load vantage (paper: "queries before they are dropped"):
         # a tap in front of each measurement-zone server records every
-        # query regardless of the attack drop.
+        # query regardless of the attack drop. When the flight recorder's
+        # sketches are armed, the same tap feeds per-source accounting —
+        # one closure per configuration so disabled runs pay nothing.
         self.offered_query_log = QueryLog()
+        self.source_sketch = None
+        recorder = self.obs.recorder
+        if recorder is not None and recorder.spec.sketch:
+            from repro.obs.sketch import SourceSketch
+
+            self.source_sketch = SourceSketch(
+                epsilon=recorder.spec.sketch_epsilon,
+                delta=recorder.spec.sketch_delta,
+                topk=recorder.spec.sketch_topk,
+            )
         for server in self.test_servers:
             self.network.register_tap(
                 server.address, self._make_offered_tap(server.name)
@@ -294,12 +306,34 @@ class Testbed:
                 registry.register_collector(
                     "attack", self.attack_load.stats.as_dict
                 )
+            if self.source_sketch is not None:
+                registry.register_collector(
+                    "sketch", self.source_sketch.summary
+                )
 
     def _make_offered_tap(self, server_name: str):
-        def tap(packet) -> None:
+        sketch = self.source_sketch
+        if sketch is None:
+
+            def tap(packet) -> None:
+                message = packet.message
+                if message.is_response or message.question is None:
+                    return
+                self.offered_query_log.record(
+                    self.sim.now,
+                    packet.src,
+                    message.question.qname,
+                    message.question.qtype,
+                    server_name,
+                )
+
+            return tap
+
+        def sketch_tap(packet) -> None:
             message = packet.message
             if message.is_response or message.question is None:
                 return
+            sketch.update(packet.src)
             self.offered_query_log.record(
                 self.sim.now,
                 packet.src,
@@ -308,7 +342,7 @@ class Testbed:
                 server_name,
             )
 
-        return tap
+        return sketch_tap
 
     # ------------------------------------------------------------------
     # Scheduling helpers
@@ -342,12 +376,14 @@ class Testbed:
     def schedule_metric_snapshots(self, interval: float, rounds: int) -> None:
         """Snapshot the registry at the end of each probing round.
 
-        No-op when metrics are disabled. Experiments typically take one
-        more snapshot manually after :meth:`run` returns, capturing the
-        grace-period tail.
+        No-op unless ``--metrics`` asked for per-round snapshots: a
+        timeline-only run builds a registry for the flight recorder to
+        sample, but must not also grow per-round snapshot series.
+        Experiments typically take one more snapshot manually after
+        :meth:`run` returns, capturing the grace-period tail.
         """
         registry = self.obs.registry
-        if registry is None:
+        if registry is None or not self.obs.spec.metrics:
             return
         for round_index in range(rounds):
             boundary = (round_index + 1) * interval
@@ -356,7 +392,7 @@ class Testbed:
     def take_metric_snapshot(self, round_index: int) -> None:
         """Snapshot now (used for the final post-run reading)."""
         registry = self.obs.registry
-        if registry is not None:
+        if registry is not None and self.obs.spec.metrics:
             registry.snapshot(self.sim.now, round_index)
 
     # Observability accessors: TestbedSnapshot duck-types these, so
@@ -368,6 +404,10 @@ class Testbed:
     @property
     def metric_snapshots(self):
         return self.obs.metric_snapshots
+
+    @property
+    def timeline_points(self):
+        return self.obs.timeline_points
 
     @property
     def defense_stats(self):
@@ -427,4 +467,12 @@ class Testbed:
     def run(self, duration: float, grace: float = 20.0) -> None:
         """Run the world for ``duration`` simulated seconds (+`grace` for
         resolutions still in flight at the end)."""
-        self.sim.run(until=duration + grace)
+        until = duration + grace
+        recorder = self.obs.recorder
+        if recorder is not None:
+            # The flight recorder covers the full run including the
+            # grace tail; its final sample lands exactly at ``until``,
+            # the same instant as the final metrics snapshot, so the two
+            # readings reconcile exactly.
+            recorder.schedule(until)
+        self.sim.run(until=until)

@@ -1,9 +1,12 @@
-"""Observability: query-lifecycle tracing, metrics, and profiling.
+"""Observability: query-lifecycle tracing, metrics, timelines, profiling.
 
-Three independent layers, all zero-cost when disabled:
+Four independent layers, all zero-cost when disabled:
 
 - :class:`Tracer` — per-query span events (``repro ddos H --trace out.jsonl``)
 - :class:`MetricsRegistry` — counters/gauges/histograms snapshotted per round
+- :class:`TimelineRecorder` — the flight recorder: sim-time telemetry
+  timelines with sketch-based per-source accounting
+  (``repro ddos H --timeline out.jsonl``)
 - simulator profiling — see :meth:`repro.simcore.Simulator.enable_profiling`
 
 :class:`ObsSpec` selects layers per run and travels on runner requests.
@@ -22,21 +25,36 @@ from repro.obs.records import (
     TERMINAL_KINDS,
     MetricsSnapshot,
     SpanEvent,
+    TimelinePoint,
 )
+from repro.obs.sketch import CountMinSketch, SourceSketch, SpaceSaving
 from repro.obs.spanio import (
     SpanFormatError,
     export_metrics,
     export_spans,
+    export_timeline,
     import_metrics,
     import_spans,
+    import_timeline,
     summarize_spans,
     validate_span_chains,
+    validate_timeline,
+)
+from repro.obs.timeline import (
+    DEFAULT_SERIES,
+    TimelineRecorder,
+    TimelineSpec,
+    render_table,
+    render_timeline,
+    render_timeline_csv,
 )
 from repro.obs.trace import Tracer
 
 __all__ = [
+    "CountMinSketch",
     "Counter",
     "CounterFamily",
+    "DEFAULT_SERIES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -44,14 +62,25 @@ __all__ = [
     "Observability",
     "ObsSpec",
     "SPAN_KINDS",
+    "SourceSketch",
+    "SpaceSaving",
     "SpanEvent",
     "SpanFormatError",
     "TERMINAL_KINDS",
+    "TimelinePoint",
+    "TimelineRecorder",
+    "TimelineSpec",
     "Tracer",
     "export_metrics",
     "export_spans",
+    "export_timeline",
     "import_metrics",
     "import_spans",
+    "import_timeline",
+    "render_table",
+    "render_timeline",
+    "render_timeline_csv",
     "summarize_spans",
     "validate_span_chains",
+    "validate_timeline",
 ]

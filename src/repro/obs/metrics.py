@@ -79,9 +79,43 @@ class Histogram:
         self.total = 0.0
 
     def observe(self, value: Number) -> None:
+        # ``bisect_left`` puts a value that equals a bound *in* that
+        # bound's bucket: bucket ``i`` counts values in the half-open
+        # interval ``(bounds[i-1], bounds[i]]`` (with bucket 0 covering
+        # ``(-inf, bounds[0]]`` and the last bucket ``(bounds[-1], inf)``).
+        # This is the Prometheus-style ``le`` (less-or-equal) convention
+        # the snapshot keys advertise, and the quantile estimator below
+        # relies on it.
         self.buckets[bisect.bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
+
+    def quantile(self, fraction: float) -> float:
+        """Estimate a quantile from the bucket counts.
+
+        Walks the cumulative distribution to the bucket containing the
+        requested rank, then interpolates linearly inside it (bucket
+        ``i`` spans ``(bounds[i-1], bounds[i]]``; the first bucket's
+        lower edge is taken as 0 for the non-negative quantities we
+        histogram, and the overflow bucket reports its lower bound — the
+        estimate cannot exceed what the buckets resolve).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = fraction * self.count
+        cumulative = 0
+        for index, filled in enumerate(self.buckets):
+            if filled == 0:
+                continue
+            if cumulative + filled >= rank:
+                if index >= len(self.bounds):
+                    return float(self.bounds[-1]) if self.bounds else 0.0
+                upper = float(self.bounds[index])
+                lower = float(self.bounds[index - 1]) if index > 0 else 0.0
+                inside = (rank - cumulative) / filled
+                return lower + (upper - lower) * min(1.0, max(0.0, inside))
+            cumulative += filled
+        return float(self.bounds[-1]) if self.bounds else 0.0
 
     def __repr__(self) -> str:
         return f"<Histogram {self.name} n={self.count} sum={self.total:g}>"
@@ -173,8 +207,13 @@ class MetricsRegistry:
         return 0
 
     # -- snapshotting --
-    def snapshot(self, time: float, round_index: int) -> MetricsSnapshot:
-        """Flatten every instrument into a snapshot and append it."""
+    def read_values(self) -> Dict[str, float]:
+        """Flatten every instrument and collector into ``name -> number``.
+
+        The read side shared by :meth:`snapshot` (per-round metrics) and
+        the flight recorder (sim-time timeline sampling); reading mutates
+        nothing, so both consumers can interleave freely.
+        """
         values: Dict[str, float] = {}
         for name, counter in self._counters.items():
             values[name] = counter.value
@@ -187,6 +226,13 @@ class MetricsRegistry:
             for bound, filled in zip(histogram.bounds, histogram.buckets):
                 values[f"{name}.le.{bound:g}"] = filled
             values[name + ".le.inf"] = histogram.buckets[-1]
+            # Estimated quantiles from the cumulative buckets: coarse
+            # (bucket-resolution) but monotone and cheap, and they make
+            # latency drift visible without post-processing the buckets.
+            for label, fraction in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+                values[f"{name}.{label}"] = round(
+                    histogram.quantile(fraction), 9
+                )
         for name, fam in self._families.items():
             for labels, count in fam.values.items():
                 key = ".".join([name, *(str(part) for part in labels)])
@@ -198,6 +244,10 @@ class MetricsRegistry:
                     values[f"{name}.{suffix}"] = number
             else:
                 values[name] = sample
-        snap = MetricsSnapshot(time, round_index, values)
+        return values
+
+    def snapshot(self, time: float, round_index: int) -> MetricsSnapshot:
+        """Flatten every instrument into a snapshot and append it."""
+        snap = MetricsSnapshot(time, round_index, self.read_values())
         self.snapshots.append(snap)
         return snap

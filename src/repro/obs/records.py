@@ -154,6 +154,49 @@ class SpanEvent:
         )
 
 
+class TimelinePoint:
+    """One flight-recorder sample on the sim-time cadence.
+
+    ``index`` counts samples from 0 in recording order; ``values`` maps
+    flat series names (``offered_qps``, ``cache_hit_ratio``,
+    ``sketch.entropy_bits``) to numbers. Points are plain data — like
+    :class:`MetricsSnapshot` they pickle through ``TestbedSnapshot`` and
+    the disk cache, so parallel and cached runs carry full timelines.
+    """
+
+    __slots__ = ("time", "index", "values")
+
+    def __init__(self, time: float, index: int, values: Dict[str, float]) -> None:
+        self.time = time
+        self.index = index
+        self.values = values
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "time": round(self.time, 6),
+            "index": self.index,
+            "values": self.values,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimelinePoint):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.index == other.index
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.index))
+
+    def __repr__(self) -> str:
+        return (
+            f"<TimelinePoint t={self.time:.6f} #{self.index} "
+            f"series={len(self.values)}>"
+        )
+
+
 class MetricsSnapshot:
     """A flattened point-in-time reading of every registered metric.
 

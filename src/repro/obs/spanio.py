@@ -18,12 +18,17 @@ import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO
 
 from repro.obs.records import (
+    SPAN_AUTH_QUERY,
+    SPAN_FORWARD,
     SPAN_ISSUE,
     SPAN_KINDS,
+    SPAN_SEND,
     TERMINAL_KINDS,
     MetricsSnapshot,
     SpanEvent,
+    TimelinePoint,
 )
+from repro.obs.timeline import render_table
 
 
 class SpanFormatError(ValueError):
@@ -155,7 +160,84 @@ def summarize_spans(spans: Sequence[SpanEvent], top_n: int = 10) -> str:
             f"{outcome:<10} {len(counts):>7} {min(counts):>5} "
             f"{sum(counts) / len(counts):>7.1f} {max(counts):>5}"
         )
+    lines.append("")
+    lines.append("per-hop latency (first occurrence of each hop per trace):")
+    lines.append(_per_hop_breakdown(chains))
     return "\n".join(lines)
+
+
+#: Hop labels in pipeline order, for stable table ordering.
+_HOP_ORDER = (
+    "stub->forwarder",
+    "stub->recursive",
+    "forwarder->recursive",
+    "recursive->auth",
+    "auth->answer",
+    "stub->answer",
+)
+
+
+def _per_hop_breakdown(chains: Dict[int, List[SpanEvent]]) -> str:
+    """Latency per resolution hop, from first-occurrence span times.
+
+    A chain contributes a hop only when both of its endpoints exist
+    *before the terminal*: forwarder-fronted VPs contribute
+    ``stub->forwarder``, direct-recursive VPs ``stub->recursive``, and
+    chains answered from cache (no ``send``) only the end-to-end row.
+    Spans after the terminal (recursives retrying past the stub's
+    give-up) are excluded, matching the latency convention above.
+    """
+    hops: Dict[str, List[float]] = {}
+
+    def record(hop: str, delta: float) -> None:
+        hops.setdefault(hop, []).append(delta)
+
+    for chain in chains.values():
+        issue_time = chain[0].time
+        first: Dict[str, float] = {}
+        terminal_time = None
+        for span in chain:
+            if span.kind in TERMINAL_KINDS:
+                terminal_time = span.time
+                break
+            if span.kind in (SPAN_FORWARD, SPAN_SEND, SPAN_AUTH_QUERY):
+                first.setdefault(span.kind, span.time)
+        if terminal_time is None:
+            continue
+        forward = first.get(SPAN_FORWARD)
+        send = first.get(SPAN_SEND)
+        auth = first.get(SPAN_AUTH_QUERY)
+        if forward is not None:
+            record("stub->forwarder", forward - issue_time)
+            if send is not None:
+                record("forwarder->recursive", send - forward)
+        elif send is not None:
+            record("stub->recursive", send - issue_time)
+        if send is not None and auth is not None:
+            record("recursive->auth", auth - send)
+        if auth is not None:
+            record("auth->answer", terminal_time - auth)
+        record("stub->answer", terminal_time - issue_time)
+
+    rows = []
+    for hop in _HOP_ORDER:
+        deltas = hops.get(hop)
+        if not deltas:
+            continue
+        rows.append(
+            [
+                hop,
+                str(len(deltas)),
+                f"{min(deltas) * 1e3:.1f}",
+                f"{sum(deltas) / len(deltas) * 1e3:.1f}",
+                f"{max(deltas) * 1e3:.1f}",
+            ]
+        )
+    if not rows:
+        return "(no complete hops)"
+    return render_table(
+        ["hop", "traces", "min ms", "mean ms", "max ms"], rows
+    )
 
 
 def export_metrics(
@@ -189,3 +271,101 @@ def import_metrics(stream: TextIO) -> List[MetricsSnapshot]:
             MetricsSnapshot(float(row["time"]), int(row["round_index"]), row["values"])
         )
     return snapshots
+
+
+# ---------------------------------------------------------------------------
+# Timeline JSONL (flight-recorder points)
+# ---------------------------------------------------------------------------
+# Schema, one object per line::
+#
+#     {"time": 3600.0, "index": 59, "values": {"offered_qps": 12.4, ...},
+#      "run": "ddos-H"}
+#
+# ``run`` is optional and distinguishes interleaved timelines in one
+# file (the report export). Within a run, indexes are contiguous from 0
+# and times strictly increase; every value is a number.
+
+
+def export_timeline(
+    points: Iterable[TimelinePoint], stream: TextIO, run: Optional[str] = None
+) -> int:
+    """Write timeline points as JSONL; returns the number of rows."""
+    count = 0
+    for point in points:
+        row = point.as_dict()
+        if run is not None:
+            row["run"] = run
+        stream.write(json.dumps(row, separators=(",", ":"), sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def import_timeline(stream: TextIO) -> Dict[str, List[TimelinePoint]]:
+    """Read timeline JSONL back, grouped by ``run`` label (\"\" if absent).
+
+    Each row is schema-checked; call :func:`validate_timeline` on each
+    group for the series-level invariants.
+    """
+    by_run: Dict[str, List[TimelinePoint]] = {}
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SpanFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(row, dict):
+            raise SpanFormatError(f"line {lineno}: expected an object")
+        for field, kinds in (("time", (int, float)), ("index", int)):
+            if field not in row:
+                raise SpanFormatError(f"line {lineno}: missing field {field!r}")
+            if not isinstance(row[field], kinds) or isinstance(row[field], bool):
+                raise SpanFormatError(
+                    f"line {lineno}: field {field!r} has wrong type "
+                    f"{type(row[field]).__name__}"
+                )
+        values = row.get("values")
+        if not isinstance(values, dict):
+            raise SpanFormatError(f"line {lineno}: missing or non-object 'values'")
+        for key, number in values.items():
+            if not isinstance(number, (int, float)) or isinstance(number, bool):
+                raise SpanFormatError(
+                    f"line {lineno}: series {key!r} is not a number"
+                )
+        by_run.setdefault(str(row.get("run", "")), []).append(
+            TimelinePoint(float(row["time"]), row["index"], values)
+        )
+    return by_run
+
+
+def validate_timeline(points: Sequence[TimelinePoint]) -> None:
+    """Check one run's series invariants (contiguous indexes, monotone time).
+
+    Raises :class:`SpanFormatError` on the first violation. Cumulative
+    ``*_total`` series must also be monotone non-decreasing — they are
+    integrals of the run, and a decrease means the exporter mixed runs
+    or re-sampled out of order.
+    """
+    previous: Optional[TimelinePoint] = None
+    for position, point in enumerate(points):
+        if point.index != position:
+            raise SpanFormatError(
+                f"timeline point {position}: index {point.index} is not "
+                f"contiguous"
+            )
+        if previous is not None:
+            if point.time <= previous.time:
+                raise SpanFormatError(
+                    f"timeline point {position}: time {point.time} does not "
+                    f"increase past {previous.time}"
+                )
+            for key, number in point.values.items():
+                if key.endswith("_total") and key in previous.values:
+                    if number < previous.values[key]:
+                        raise SpanFormatError(
+                            f"timeline point {position}: cumulative series "
+                            f"{key!r} decreased ({previous.values[key]} -> "
+                            f"{number})"
+                        )
+        previous = point

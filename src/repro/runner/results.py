@@ -41,6 +41,12 @@ class TestbedSnapshot:
     offered_query_log: QueryLog
     spans: List[Any] = field(default_factory=list, repr=False)
     metric_snapshots: List[Any] = field(default_factory=list, repr=False)
+    # Flight-recorder timeline points (repro.obs.timeline); empty unless
+    # the run carried a TimelineSpec.
+    timeline_points: List[Any] = field(default_factory=list, repr=False)
+    # Per-source SourceSketch (plain ints/lists, pickles natively); None
+    # unless the run carried a TimelineSpec with sketching on.
+    source_sketch: Optional[Any] = field(default=None, repr=False)
     profile: Optional[Dict[str, Any]] = field(default=None, repr=False)
     # Defense/attack counter dicts (None when those subsystems are off),
     # mirroring the live testbed's properties of the same names.
@@ -55,6 +61,8 @@ class TestbedSnapshot:
             offered_query_log=testbed.offered_query_log,
             spans=list(testbed.spans),
             metric_snapshots=list(testbed.metric_snapshots),
+            timeline_points=list(testbed.timeline_points),
+            source_sketch=testbed.source_sketch,
             profile=testbed.profile_summary(),
             defense_stats=testbed.defense_stats,
             attack_stats=testbed.attack_stats,

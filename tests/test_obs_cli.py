@@ -4,18 +4,31 @@ Scaled like tests/test_cli.py: small probe counts, experiment G/H, so
 each invocation stays in the tier-1 time budget.
 """
 
+import pytest
+
 from repro.__main__ import build_parser, main
-from repro.obs import import_metrics, import_spans, validate_span_chains
+from repro.obs import (
+    import_metrics,
+    import_spans,
+    import_timeline,
+    validate_span_chains,
+    validate_timeline,
+)
 
 
 def test_parser_accepts_obs_flags():
     parser = build_parser()
     for argv in (
         ["ddos", "H", "--trace", "/tmp/s.jsonl", "--metrics-out", "/tmp/m.jsonl"],
+        ["ddos", "H", "--timeline", "/tmp/t.jsonl", "--timeline-interval", "300"],
         ["baseline", "60", "--trace", "/tmp/s.jsonl"],
+        ["baseline", "60", "--timeline", "/tmp/t.jsonl"],
         ["report", "--metrics-out", "/tmp/m.jsonl"],
+        ["report", "--timeline", "/tmp/t.jsonl"],
         ["profile", "H", "--probes", "50", "--top", "3"],
         ["analyze-trace", "/tmp/s.jsonl", "--mode", "trace-summary", "--top", "5"],
+        ["timeline", "/tmp/t.jsonl", "--format", "csv", "--series", "offered_qps"],
+        ["timeline", "/tmp/t.jsonl", "--run", "ddos-H", "--attack-window", "60:120"],
     ):
         parser.parse_args(argv)
 
@@ -77,6 +90,60 @@ def test_cli_profile(capsys):
     assert "Simulation kernel profile" in output
     assert "events processed" in output
     assert "callback sites by wall time" in output
+
+
+def test_cli_ddos_timeline_export_and_render(tmp_path, capsys):
+    timeline_path = tmp_path / "timeline.jsonl"
+    assert (
+        main(
+            [
+                "ddos", "G", "--probes", "16",
+                "--timeline", str(timeline_path),
+                "--timeline-interval", "300",
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "timeline points" in output
+
+    with timeline_path.open() as stream:
+        runs = import_timeline(stream)
+    assert list(runs) == ["ddos-G"]
+    validate_timeline(runs["ddos-G"])
+
+    # Text rendering: series columns plus the attack-window annotation
+    # (derived from the ddos-G run label, no --attack-window needed).
+    assert main(["timeline", str(timeline_path)]) == 0
+    text = capsys.readouterr().out
+    assert "offered_qps" in text and "atk" in text and "*" in text
+
+    # CSV rendering with a series filter.
+    argv = [
+        "timeline", str(timeline_path),
+        "--format", "csv", "--series", "offered_qps,client_ok_ratio",
+    ]
+    assert main(argv) == 0
+    csv_text = capsys.readouterr().out
+    assert csv_text.splitlines()[0] == "time,index,offered_qps,client_ok_ratio"
+
+    # Unknown series and unknown run labels fail with a helpful error.
+    with pytest.raises(SystemExit, match="series not in timeline"):
+        main(["timeline", str(timeline_path), "--series", "nope"])
+    with pytest.raises(SystemExit, match="no run"):
+        main(["timeline", str(timeline_path), "--run", "ddos-Z"])
+
+
+def test_cli_trace_summary_per_hop_breakdown(tmp_path, capsys):
+    trace_path = tmp_path / "spans.jsonl"
+    assert main(["ddos", "G", "--probes", "16", "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    assert (
+        main(["analyze-trace", str(trace_path), "--mode", "trace-summary"]) == 0
+    )
+    output = capsys.readouterr().out
+    assert "per-hop latency" in output
+    assert "recursive->auth" in output
 
 
 def test_cli_traced_run_with_cache(tmp_path, capsys):

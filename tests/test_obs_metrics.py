@@ -2,6 +2,8 @@
 
 import io
 
+import pytest
+
 from repro.core.experiments.ddos import DDOS_EXPERIMENTS
 from repro.core.metrics import responses_by_round
 from repro.obs import (
@@ -42,6 +44,34 @@ def test_histogram_buckets():
     assert histogram.total == 109
     # bisect_left: bucket[i] counts values <= bounds[i] (0,1 -> le.1).
     assert histogram.buckets == [2, 1, 1, 1]
+
+
+def test_histogram_quantiles():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency", bounds=(0.1, 0.5, 1.0, 5.0))
+    for _ in range(90):
+        histogram.observe(0.05)  # first bucket: (0, 0.1]
+    for _ in range(10):
+        histogram.observe(3.0)  # fourth bucket: (1.0, 5.0]
+
+    # Empty histogram quantile is defined as 0.
+    assert registry.histogram("empty", bounds=(1,)).quantile(0.5) == 0.0
+    # p50 interpolates inside the first bucket (lower edge 0).
+    assert 0.0 < histogram.quantile(0.50) <= 0.1
+    # p95 lands mid-tail bucket; p99 approaches its upper bound.
+    assert 1.0 < histogram.quantile(0.95) <= 5.0
+    assert histogram.quantile(0.95) < histogram.quantile(0.99) <= 5.0
+    # Overflow: mass beyond the last bound reports the last bound.
+    histogram.observe(100.0)
+    assert histogram.quantile(1.0) == 5.0
+
+    # Snapshots surface the standard percentiles as flat series.
+    snap = registry.snapshot(60.0, 0)
+    for name in ("latency.p50", "latency.p95", "latency.p99"):
+        assert name in snap.values
+    assert snap.values["latency.p50"] == pytest.approx(
+        histogram.quantile(0.50), abs=1e-9
+    )
 
 
 def test_family_and_snapshot_flattening():

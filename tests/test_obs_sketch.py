@@ -1,0 +1,168 @@
+"""Error-bound and determinism guarantees of the per-source sketches."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import CountMinSketch, SourceSketch, SpaceSaving
+
+
+def zipf_stream(distinct: int, total: int, seed: int):
+    """A seeded Zipf-ish key stream: key rank r drawn with weight 1/r."""
+    rng = random.Random(seed)
+    keys = [f"100.64.{rank // 256}.{rank % 256}" for rank in range(distinct)]
+    weights = [1.0 / (rank + 1) for rank in range(distinct)]
+    return rng.choices(keys, weights=weights, k=total)
+
+
+def exact_counts(stream):
+    counts = {}
+    for key in stream:
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Count-min
+# ----------------------------------------------------------------------
+def test_cms_parameter_validation():
+    with pytest.raises(ValueError):
+        CountMinSketch(epsilon=0.0)
+    with pytest.raises(ValueError):
+        CountMinSketch(delta=1.0)
+
+
+def test_cms_never_undercounts_and_respects_epsilon_n():
+    stream = zipf_stream(distinct=400, total=20_000, seed=7)
+    truth = exact_counts(stream)
+    cms = CountMinSketch(epsilon=0.01, delta=0.01)
+    for key in stream:
+        cms.update(key)
+
+    assert cms.total == len(stream)
+    bound = cms.error_bound()
+    assert bound == pytest.approx(0.01 * len(stream))
+    for key, true_count in truth.items():
+        estimate = cms.estimate(key)
+        assert estimate >= true_count  # one-sided: never undercounts
+        assert estimate <= true_count + bound
+
+
+def test_cms_weighted_updates():
+    cms = CountMinSketch()
+    cms.update("a", 5)
+    cms.update("a", 2)
+    assert cms.estimate("a") == 7
+    assert cms.total == 7
+    assert cms.estimate("never-seen") <= cms.error_bound()
+
+
+# ----------------------------------------------------------------------
+# Space-saving
+# ----------------------------------------------------------------------
+def test_space_saving_exact_when_under_capacity():
+    stream = zipf_stream(distinct=12, total=5_000, seed=3)
+    truth = exact_counts(stream)
+    heavy = SpaceSaving(capacity=16)
+    for key in stream:
+        heavy.update(key)
+
+    top = heavy.top(16)
+    assert len(top) == len(truth)
+    for key, count, error in top:
+        assert error == 0
+        assert count == truth[key]
+
+
+def test_space_saving_guaranteed_containment():
+    """Every key heavier than N/capacity must be monitored."""
+    stream = zipf_stream(distinct=600, total=30_000, seed=11)
+    truth = exact_counts(stream)
+    heavy = SpaceSaving(capacity=24)
+    for key in stream:
+        heavy.update(key)
+
+    monitored = {key for key, _count, _error in heavy.top(heavy.capacity)}
+    threshold = heavy.total / heavy.capacity
+    for key, true_count in truth.items():
+        if true_count > threshold:
+            assert key in monitored
+    # Monitored counts always sum to the full stream (evictions inherit).
+    assert sum(count for _k, count, _e in heavy.top(heavy.capacity)) == len(
+        stream
+    )
+
+
+def test_space_saving_deterministic_eviction_order():
+    """Ties break on (count, error, key), not dict insertion history."""
+    a, b = SpaceSaving(capacity=2), SpaceSaving(capacity=2)
+    for key in ("x", "y", "z"):
+        a.update(key)
+    for key in ("y", "x", "z"):  # same multiset, different arrival order
+        b.update(key)
+    assert a.top(2) == b.top(2)
+
+
+# ----------------------------------------------------------------------
+# Composite SourceSketch
+# ----------------------------------------------------------------------
+def test_heavy_hitters_within_epsilon_n_of_truth():
+    """SS nominates, CMS bounds: reported counts inherit epsilon*N."""
+    stream = zipf_stream(distinct=500, total=25_000, seed=42)
+    truth = exact_counts(stream)
+    sketch = SourceSketch(epsilon=0.01, delta=0.01, topk=16)
+    for key in stream:
+        sketch.update(key)
+
+    bound = sketch.cms.error_bound()
+    for key, count, _error in sketch.heavy_hitters(10):
+        true_count = truth[key]
+        assert count <= true_count + bound
+        assert count + bound >= true_count
+
+
+def test_distinct_linear_counting_tolerance():
+    sketch = SourceSketch()
+    distinct = 800
+    for index in range(distinct):
+        sketch.update(f"src-{index}")
+    # 8192-bit register: ~2% standard error at this load; 10% gives
+    # plenty of headroom while still catching a broken estimator.
+    assert sketch.distinct() == pytest.approx(distinct, rel=0.10)
+
+
+def test_entropy_edge_cases():
+    empty = SourceSketch()
+    assert empty.entropy_bits() == 0.0
+
+    single = SourceSketch()
+    for _ in range(1000):
+        single.update("attacker")
+    assert single.entropy_bits() == pytest.approx(0.0, abs=1e-9)
+
+    uniform = SourceSketch(topk=64)
+    for index in range(32):
+        for _ in range(100):
+            uniform.update(f"src-{index}")
+    # All 32 keys monitored exactly: entropy is exactly log2(32) = 5.
+    assert uniform.entropy_bits() == pytest.approx(math.log2(32), rel=0.01)
+
+
+def test_summary_shares_bounded_and_deterministic():
+    stream = zipf_stream(distinct=300, total=10_000, seed=9)
+    first, second = SourceSketch(), SourceSketch()
+    for key in stream:
+        first.update(key)
+        second.update(key)
+
+    summary = first.summary()
+    assert summary == second.summary()  # same stream -> same numbers
+    assert summary["total"] == len(stream)
+    assert 0.0 < summary["top1_share"] <= summary["topk_share"] <= 1.0
+    # Zipf over 300 keys is neither degenerate nor uniform.
+    assert 0.0 < summary["entropy_bits"] < math.log2(300) + 1
+
+    empty = SourceSketch().summary()
+    assert empty["total"] == 0
+    assert empty["top1_share"] == 0.0 and empty["topk_share"] == 0.0
