@@ -14,6 +14,7 @@ Examples::
     python -m repro sweep --jobs 0 --cache-dir .repro-cache
     python -m repro defense-study --jobs 0 --intensities 2,4,10
     python -m repro lint --format json
+    python -m repro verify --format json
 """
 
 from __future__ import annotations
@@ -529,6 +530,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.fsm.cli import run_verify
+
+    return run_verify(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
     from repro.runner import RunFailure
@@ -744,6 +751,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    verify = subparsers.add_parser(
+        "verify",
+        help=(
+            "model-check the resolver state-machine tables (reachability, "
+            "liveness, determinism, retry-amplification bounds vs §6)"
+        ),
+    )
+    from repro.fsm.cli import add_verify_arguments
+
+    add_verify_arguments(verify)
+    verify.set_defaults(func=_cmd_verify)
 
     report = subparsers.add_parser(
         "report",

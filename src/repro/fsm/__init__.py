@@ -1,0 +1,30 @@
+"""Table-driven state machines for the resolver lifecycles.
+
+The package splits "what the protocol does" from "how the code does
+it": :mod:`repro.fsm.machine` is the substrate (frozen transition
+tables compiled into dispatchers), :mod:`repro.fsm.resolution` and
+:mod:`repro.fsm.forwarding` are the shipped machines the resolvers in
+:mod:`repro.resolvers` execute, and :mod:`repro.fsm.verify` is the
+static model checker behind ``repro verify`` (reachability, liveness,
+determinism, and worst-case retry-amplification bounds — the paper's
+§6 query-count analysis, computed from the tables without running the
+simulator). :mod:`repro.fsm.dot` renders the graphs for docs/review.
+"""
+
+from repro.fsm.machine import (
+    CompiledMachine,
+    Machine,
+    MachineError,
+    State,
+    StuckMachineError,
+    Transition,
+)
+
+__all__ = [
+    "CompiledMachine",
+    "Machine",
+    "MachineError",
+    "State",
+    "StuckMachineError",
+    "Transition",
+]

@@ -1,0 +1,204 @@
+"""The ``repro verify`` subcommand.
+
+Canonical invocation, from the repository root::
+
+    PYTHONPATH=src python -m repro verify
+
+Model-checks every shipped transition table (reachability, liveness,
+determinism, bounded amplification) and cross-checks the computed
+worst-case retry bounds against the paper's §6 measurements — all
+statically, without running the simulator. Exit status mirrors
+``repro lint``: 0 when clean (or baselined), 1 on new findings or
+stale baseline entries, 2 for usage errors. ``--format json`` emits
+the machine-readable report; ``--output`` writes it to a file
+regardless of exit status (the CI artifact); ``--dot DIR`` writes one
+Graphviz render per profile and exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.fsm.profiles import shipped_profiles
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.findings import sort_findings
+
+
+def default_baseline_path() -> pathlib.Path:
+    """``verify-baseline.json`` at the repo root (next to the lint one)."""
+    import repro
+
+    package = pathlib.Path(repro.__file__).resolve().parent
+    return package.parent.parent / "verify-baseline.json"
+
+
+def add_verify_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="fmt",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file (default: verify-baseline.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the JSON report here (written even on failure)",
+    )
+    parser.add_argument(
+        "--dot",
+        metavar="DIR",
+        help="write one Graphviz .dot render per profile to DIR and exit",
+    )
+
+
+def _write_dots(directory: pathlib.Path) -> int:
+    from repro.fsm.dot import machine_to_dot
+    from repro.fsm.verify import worst_case_bound
+
+    directory.mkdir(parents=True, exist_ok=True)
+    for profile in shipped_profiles():
+        bound = worst_case_bound(profile)
+        policy = profile.policy
+        caption = [
+            f"profile: {profile.name} ({profile.machine.name} machine)",
+            (
+                f"timeouts {policy.initial_timeout}s x{policy.backoff} "
+                f"(cap {policy.max_timeout}s), budget {bound.budget} over "
+                f"{profile.servers} servers, deadline "
+                f"{policy.resolution_deadline}s"
+            ),
+            (
+                f"verified worst case: {bound.queries} target-zone "
+                f"queries per client query"
+            ),
+        ]
+        path = directory / f"{profile.name}.dot"
+        path.write_text(
+            machine_to_dot(
+                profile.machine, title=profile.name, caption=caption
+            ),
+            encoding="utf-8",
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+def run_verify(args: argparse.Namespace) -> int:
+    if args.dot:
+        return _write_dots(pathlib.Path(args.dot))
+
+    from repro.fsm.verify import verify_profiles
+
+    profiles = shipped_profiles()
+    findings, bounds = verify_profiles(profiles)
+
+    baseline_path = pathlib.Path(
+        args.baseline if args.baseline else default_baseline_path()
+    )
+    if args.write_baseline:
+        Baseline(findings).save(
+            baseline_path,
+            comment=(
+                "Grandfathered repro-verify findings. Policy: fix the "
+                "tables instead of adding entries; this file should stay "
+                "empty."
+            ),
+        )
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"repro verify: {exc}", file=sys.stderr)
+            return 2
+    new, suppressed, stale = baseline.filter(findings)
+    new = sort_findings(new)
+
+    machines = []
+    seen = set()
+    for profile in profiles:
+        machine = profile.machine
+        if machine.name in seen:
+            continue
+        seen.add(machine.name)
+        machines.append(
+            {
+                "name": machine.name,
+                "states": len(machine.states),
+                "events": len(machine.events),
+                "transitions": len(machine.transitions),
+            }
+        )
+    report = {
+        "machines": machines,
+        "profiles": [bound.as_dict() for bound in bounds],
+        "findings": [finding.as_dict() for finding in new],
+        "baselined": [finding.as_dict() for finding in suppressed],
+        "stale_baseline_entries": [entry.as_dict() for entry in stale],
+    }
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+    if args.fmt == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for finding in new:
+            print(finding.render())
+        for entry in stale:
+            print(
+                f"stale baseline entry (fixed? remove it): "
+                f"[{entry.rule}] {entry.file}: {entry.message}"
+            )
+        for bound in bounds:
+            print(bound.render())
+        summary = (
+            f"repro verify: {len(machines)} machine(s), "
+            f"{len(bounds)} profile(s), {len(new)} finding(s)"
+        )
+        if suppressed:
+            summary += f", {len(suppressed)} baselined"
+        print(summary)
+
+    return 1 if new or stale else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.fsm.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro verify", description=__doc__.splitlines()[0]
+    )
+    add_verify_arguments(parser)
+    return run_verify(parser.parse_args(list(argv) if argv is not None else None))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

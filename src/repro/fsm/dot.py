@@ -1,0 +1,62 @@
+"""Graphviz DOT export for the transition tables.
+
+``repro verify --dot DIR`` writes one ``.dot`` per shipped profile;
+the renders committed under ``docs/fsm/`` are regenerated the same way
+so review diffs show protocol changes as graph diffs. Pure string
+assembly — graphviz itself is not required (or imported).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.fsm.machine import Machine
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def machine_to_dot(
+    machine: Machine,
+    title: Optional[str] = None,
+    caption: Sequence[str] = (),
+) -> str:
+    """Render ``machine`` as a DOT digraph.
+
+    ``title`` overrides the graph name; ``caption`` lines (profile
+    parameters, computed bounds) are appended to the graph label.
+    """
+    name = title or machine.name
+    label_lines = [name, *caption]
+    lines = [
+        f'digraph "{_escape(name)}" {{',
+        "  rankdir=LR;",
+        f'  label="{_escape(chr(10).join(label_lines))}";',
+        "  labelloc=t;",
+        '  node [shape=circle, fontname="Helvetica", fontsize=11];',
+        '  edge [fontname="Helvetica", fontsize=9];',
+        '  __start [shape=point, width=0.15, label=""];',
+    ]
+    terminals = machine.terminal_names()
+    for state in machine.states:
+        shape = "doublecircle" if state.name in terminals else "circle"
+        lines.append(f'  "{_escape(state.name)}" [shape={shape}];')
+    lines.append(f'  __start -> "{_escape(machine.start)}";')
+    for row in machine.transitions:
+        label = row.label()
+        attrs = [f'label="{_escape(label)}"']
+        if row.sends:
+            # Query-emitting rows are what the verifier bounds; render
+            # them bold with their budget annotation.
+            bound = f" <= {row.bound}" if row.bound else ""
+            attrs = [
+                f'label="{_escape(f"{label}{chr(10)}sends={row.sends}{bound}")}"',
+                "style=bold",
+            ]
+        lines.append(
+            f'  "{_escape(row.state)}" -> "{_escape(row.target)}" '
+            f"[{', '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

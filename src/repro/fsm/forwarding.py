@@ -1,0 +1,82 @@
+"""The forwarder relay lifecycle as a transition table.
+
+``R1`` in the paper's Figure 1: home-router/CPE boxes relay each client
+query to an upstream set, retrying the next upstream on timeout or
+SERVFAIL. The ``budget_left`` self-loop is the per-hop amplification of
+§6.2 — one client query fans out across the whole upstream set, at most
+``total_budget(upstreams)`` sends (annotated for the verifier).
+
+Payload conventions (``event_payload``): ``UPSTREAM_SERVFAIL`` and
+``UPSTREAM_FINAL`` carry the upstream response message.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fsm.machine import Machine, State, Transition
+
+# States ---------------------------------------------------------------
+START = "START"
+FORWARDING = "FORWARDING"
+DONE = "DONE"
+
+# Events ---------------------------------------------------------------
+BEGIN = "begin"
+TIMEOUT = "timeout"
+UPSTREAM_SERVFAIL = "upstream_servfail"
+UPSTREAM_FINAL = "upstream_final"
+
+
+def _budget_left(state: Any) -> bool:
+    return state.attempt < state.forwarder.config.retry.total_budget(
+        len(state.forwarder.upstreams)
+    )
+
+
+GUARDS = {"budget_left": _budget_left}
+
+ACTIONS = {
+    "send_upstream": lambda state: state.forwarder._send_upstream(state),
+    "respond_servfail": lambda state: state.forwarder._respond_servfail(state),
+    "relay_response": lambda state: state.forwarder._relay_response(
+        state, state.event_payload
+    ),
+}
+
+
+def _relay_rows(event: str) -> tuple:
+    """Retry while budget remains, else terminate."""
+    terminal_action = (
+        "respond_servfail" if event in (BEGIN, TIMEOUT) else "relay_response"
+    )
+    state = START if event == BEGIN else FORWARDING
+    return (
+        Transition(state, event, FORWARDING, guard="budget_left",
+                   action="send_upstream", sends=1, bound="total_budget"),
+        Transition(state, event, DONE, action=terminal_action),
+    )
+
+
+FORWARDING_MACHINE = Machine(
+    name="forwarding",
+    start=START,
+    states=(
+        State(START),
+        State(FORWARDING),
+        State(DONE, terminal=True),
+    ),
+    events=(BEGIN, TIMEOUT, UPSTREAM_SERVFAIL, UPSTREAM_FINAL),
+    transitions=(
+        *_relay_rows(BEGIN),
+        *_relay_rows(TIMEOUT),
+        # A SERVFAIL from one upstream: try the next one; once the
+        # budget is spent, the last SERVFAIL is relayed to the client.
+        *_relay_rows(UPSTREAM_SERVFAIL),
+        Transition(FORWARDING, UPSTREAM_FINAL, DONE, action="relay_response"),
+    ),
+    guards=GUARDS,
+    actions=ACTIONS,
+)
+
+COMPILED_FORWARDING = FORWARDING_MACHINE.compile()

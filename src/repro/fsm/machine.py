@@ -1,0 +1,234 @@
+"""The table-driven state-machine substrate.
+
+A :class:`Machine` is pure data: a frozen table of states, events, and
+ordered transitions whose guards and actions are referenced *by name*.
+The table can therefore be model-checked without running the simulator
+(``repro verify``, :mod:`repro.fsm.verify`) and rendered to DOT
+(:mod:`repro.fsm.dot`), while :meth:`Machine.compile` turns it into the
+dispatch structure the resolvers execute on the hot path.
+
+Execution contract
+------------------
+
+* The driven context object (a resolution task, a forwarded query)
+  carries its current state in an ``fsm_state`` attribute and the
+  event's payload in ``event_payload``. Only the compiled driver writes
+  ``fsm_state`` — the ``fsm-discipline`` lint rule enforces that
+  statically.
+* Transitions for one ``(state, event)`` pair are evaluated in table
+  order; the first row whose guard passes (or that has no guard) fires.
+  The driver sets the target state *before* running the row's action,
+  so actions may dispatch follow-up events re-entrantly.
+* Dispatch on a terminal state is a no-op (the late-timer/late-response
+  idiom: every ``if self.done: return`` guard collapses into this rule).
+* An event with no row and no ``ignores`` entry raises
+  :class:`StuckMachineError` — unmodeled behavior fails loudly instead
+  of silently diverging from the verified graph.
+
+Guard/action callables receive the context object and must be
+deterministic given the context and simulator state; guards must not
+schedule or send (the verifier cannot see effects, only the table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+#: A guard predicate / transition action over the driven context.
+Guard = Callable[[Any], bool]
+Action = Callable[[Any], None]
+
+
+class MachineError(Exception):
+    """A structurally unusable machine table."""
+
+
+class StuckMachineError(MachineError):
+    """An event arrived in a state with no matching transition."""
+
+
+@dataclass(frozen=True)
+class State:
+    """One named state; terminal states accept no further events."""
+
+    name: str
+    terminal: bool = False
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One row of the table: ``state × event [guard] → target / action``.
+
+    ``sends`` and ``bound`` are static annotations for the verifier:
+    ``sends`` counts upstream queries emitted when the row fires, and
+    ``bound`` names the policy budget that caps how often a cyclic row
+    can fire within one resolution (every query-emitting cycle must
+    carry one — that is the bounded-amplification check).
+    """
+
+    state: str
+    event: str
+    target: str
+    guard: Optional[str] = None
+    action: Optional[str] = None
+    sends: int = 0
+    bound: Optional[str] = None
+
+    def label(self) -> str:
+        """Human-readable row label (DOT edges, findings)."""
+        text = self.event
+        if self.guard is not None:
+            text += f" [{self.guard}]"
+        if self.action is not None:
+            text += f" / {self.action}"
+        return text
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A complete, immutable transition table plus its code bindings.
+
+    Structural validity is *not* enforced here — :func:`repro.fsm.verify
+    .verify_machine` reports problems as findings, and :meth:`compile`
+    raises :class:`MachineError` before a broken table can execute.
+    """
+
+    name: str
+    start: str
+    states: Tuple[State, ...]
+    events: Tuple[str, ...]
+    transitions: Tuple[Transition, ...]
+    guards: Mapping[str, Guard] = field(default_factory=dict)
+    actions: Mapping[str, Action] = field(default_factory=dict)
+    #: ``(state, event)`` pairs that are deliberate no-ops, either with
+    #: no rows at all or as the fall-through when every row is guarded.
+    ignores: FrozenSet[Tuple[str, str]] = frozenset()
+
+    # ------------------------------------------------------------------
+    def state_names(self) -> Tuple[str, ...]:
+        return tuple(state.name for state in self.states)
+
+    def terminal_names(self) -> FrozenSet[str]:
+        return frozenset(s.name for s in self.states if s.terminal)
+
+    def rows(self, state: str, event: str) -> Tuple[Transition, ...]:
+        return tuple(
+            t for t in self.transitions if t.state == state and t.event == event
+        )
+
+    def structural_errors(self) -> List[str]:
+        """Name-resolution problems that make the table unexecutable."""
+        errors: List[str] = []
+        names = set(self.state_names())
+        if len(names) != len(self.states):
+            errors.append("duplicate state names")
+        if self.start not in names:
+            errors.append(f"start state `{self.start}` not declared")
+        events = set(self.events)
+        if len(events) != len(self.events):
+            errors.append("duplicate event names")
+        for t in self.transitions:
+            where = f"{t.state}--{t.label()}-->{t.target}"
+            if t.state not in names:
+                errors.append(f"{where}: unknown source state")
+            if t.target not in names:
+                errors.append(f"{where}: unknown target state")
+            if t.event not in events:
+                errors.append(f"{where}: unknown event")
+            if t.guard is not None and t.guard not in self.guards:
+                errors.append(f"{where}: unbound guard `{t.guard}`")
+            if t.action is not None and t.action not in self.actions:
+                errors.append(f"{where}: unbound action `{t.action}`")
+        for state, event in sorted(self.ignores):
+            if state not in names:
+                errors.append(f"ignore ({state}, {event}): unknown state")
+            if event not in events:
+                errors.append(f"ignore ({state}, {event}): unknown event")
+        return errors
+
+    def compile(self) -> "CompiledMachine":
+        errors = self.structural_errors()
+        if errors:
+            raise MachineError(
+                f"machine `{self.name}`: " + "; ".join(errors)
+            )
+        return CompiledMachine(self)
+
+
+#: One compiled row: (guard fn or None, action fn or None, target, row).
+_CompiledRow = Tuple[Optional[Guard], Optional[Action], str, Transition]
+
+
+class CompiledMachine:
+    """The executable form: name-resolved rows keyed by (state, event).
+
+    Instances are shared (module-level singletons per machine); the
+    per-task mutable part is just the ``fsm_state`` string on the
+    context, so driving a million tasks costs one dict lookup and a
+    short tuple scan per event.
+    """
+
+    __slots__ = ("machine", "start", "terminals", "_table", "_ignores")
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.start = machine.start
+        self.terminals = machine.terminal_names()
+        table: Dict[Tuple[str, str], Tuple[_CompiledRow, ...]] = {}
+        for t in machine.transitions:
+            guard = machine.guards[t.guard] if t.guard is not None else None
+            action = (
+                machine.actions[t.action] if t.action is not None else None
+            )
+            key = (t.state, t.event)
+            table[key] = table.get(key, ()) + ((guard, action, t.target, t),)
+        self._table = table
+        self._ignores = machine.ignores
+
+    # ------------------------------------------------------------------
+    def begin(self, ctx: Any) -> None:
+        """Place a fresh context in the start state."""
+        ctx.fsm_state = self.start
+
+    def dispatch(
+        self, ctx: Any, event: str, payload: Any = None
+    ) -> Optional[Transition]:
+        """Feed ``event`` to ``ctx``; returns the fired row (or None).
+
+        The payload rides on ``ctx.event_payload`` while the row is
+        selected and its action runs, and is restored afterwards (events
+        nest: an action may re-dispatch — the target state is committed
+        first).
+        """
+        state = ctx.fsm_state
+        if state in self.terminals:
+            return None
+        rows = self._table.get((state, event))
+        if rows is not None:
+            previous = ctx.event_payload
+            ctx.event_payload = payload
+            try:
+                for guard, action, target, row in rows:
+                    if guard is None or guard(ctx):
+                        ctx.fsm_state = target
+                        if action is not None:
+                            action(ctx)
+                        return row
+            finally:
+                ctx.event_payload = previous
+        if (state, event) in self._ignores:
+            return None
+        raise StuckMachineError(
+            f"machine `{self.machine.name}`: no transition for event "
+            f"`{event}` in state `{state}`"
+        )

@@ -1,0 +1,97 @@
+"""The shipped verification profiles: machine × retry policy × scenario.
+
+A profile binds one of the transition tables to the retry parameters a
+real resolver class ships with (:mod:`repro.resolvers.retry`) and to
+the paper's testbed scenario (§3: a ``cachetest.net`` zone served by
+two in-bailiwick authoritatives). That triple is everything the static
+verifier needs to compute a worst-case per-client-query amplification
+bound and cross-check it against the §6 / Figure 16 measurements — no
+simulator run involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.fsm.forwarding import FORWARDING_MACHINE
+from repro.fsm.machine import Machine
+from repro.fsm.resolution import RESOLUTION_MACHINE
+from repro.resolvers.retry import (
+    RetryPolicy,
+    bind_profile,
+    forwarder_profile,
+    unbound_profile,
+)
+
+#: The paper's testbed serves the target zone from two authoritatives
+#: (ns1/ns2.cachetest.net); forwarders in the measured population
+#: likewise typically carry two upstream recursives.
+DEFAULT_SERVERS = 2
+
+
+@dataclass(frozen=True)
+class VerifyProfile:
+    """One shipped (machine, policy, scenario) triple to model-check."""
+
+    name: str
+    machine: Machine
+    policy: RetryPolicy
+    #: Servers in the queried set (authoritatives or upstreams).
+    servers: int = DEFAULT_SERVERS
+    #: Concurrent resolution tasks the profile's configuration spawns
+    #: against the target zone for one client query (sub-resolutions).
+    tasks: int = 1
+    #: Where the task count comes from, for reports.
+    task_breakdown: str = "main resolution only"
+    #: The paper's measured per-client-query count against the target
+    #: zone under full failure (§6, Figure 16); None = not measured.
+    paper_attack_queries: Optional[float] = None
+
+
+def shipped_profiles() -> Tuple[VerifyProfile, ...]:
+    """The profiles ``repro verify`` checks on every run."""
+    return (
+        VerifyProfile(
+            name="bind",
+            machine=RESOLUTION_MACHINE,
+            policy=bind_profile(),
+            tasks=1,
+            task_breakdown=(
+                "one resolution task; the parent re-query opens a second "
+                "deadline-bounded round on the same question"
+            ),
+            # Figure 16: BIND sends ~3 queries normally, ~12 when every
+            # authoritative is unreachable.
+            paper_attack_queries=12.0,
+        ),
+        VerifyProfile(
+            name="unbound",
+            machine=RESOLUTION_MACHINE,
+            policy=unbound_profile(),
+            # Unbound's configuration (chase_ns_aaaa + requery_delegation,
+            # see run_software_study) multiplies the retry schedule across
+            # six tasks that all hit the dead target zone: the main
+            # question, AAAA chases for both in-bailiwick nameservers,
+            # the delegation NS re-query, and A re-queries for both
+            # nameservers.
+            tasks=6,
+            task_breakdown=(
+                "main + 2 AAAA-for-NS chases + NS re-query + 2 A re-queries"
+            ),
+            # Figure 16: Unbound's AAAA-for-NS chatter drives ~46 queries
+            # per client query under full failure.
+            paper_attack_queries=46.0,
+        ),
+        VerifyProfile(
+            name="forwarder",
+            machine=FORWARDING_MACHINE,
+            policy=forwarder_profile(),
+            tasks=1,
+            task_breakdown="one relay per client query",
+            # §6.2 bounds forwarder amplification by the upstream fan-out
+            # itself; the paper gives no single per-query figure, so the
+            # bound is pinned by the calibration test instead.
+            paper_attack_queries=None,
+        ),
+    )

@@ -1,0 +1,403 @@
+"""Static model checking of the shipped transition tables.
+
+``repro verify`` runs these checks on every machine in
+:func:`repro.fsm.profiles.shipped_profiles` *without running the
+simulator* — the tables are pure data, so their safety properties are
+decidable by graph walks:
+
+* **structure** — every row's states/events/guards/actions resolve, and
+  terminal states have no outgoing rows.
+* **reachability** — every declared state is reachable from START.
+* **liveness** — every reachable state can still reach a terminal
+  state (no resolution can wedge forever by construction).
+* **determinism** — rows are matched first-passing-guard in table
+  order, so a row after an unguarded row can never fire (shadowed), a
+  repeated guard on the same ``(state, event)`` is dead, and a pair
+  whose rows are all guarded needs an ``ignores`` entry or it can
+  strand a dispatch in :class:`~repro.fsm.machine.StuckMachineError`.
+* **bounded amplification** — every query-emitting row (``sends > 0``)
+  that sits on a cycle must name the policy budget that caps it
+  (``bound=...``), or retries could amplify without limit.
+
+On top of the graph checks, :func:`worst_case_bound` computes each
+profile's worst-case per-client-query count against the target zone by
+walking the retry schedule (timeout chain × budget × deadline windows ×
+task fan-out) and cross-checks it against the paper's §6 / Figure 16
+measurements; a bound drifting outside the calibration band is itself a
+finding, so behavioral regressions in the tables gate CI the same way
+lint findings do.
+
+Findings reuse the ``repro.lint`` record/baseline machinery: the same
+``(rule, file, message)`` identity, the same JSON shapes, the same
+empty-baseline policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.fsm.machine import Machine, Transition
+from repro.fsm.profiles import VerifyProfile, shipped_profiles
+from repro.lint.findings import Finding
+from repro.resolvers.retry import RetryPolicy
+
+#: Computed worst-case bounds must land within this band around the
+#: paper's measured per-client-query counts (§6). The simulator's
+#: profiles are calibrated abstractions, not packet traces, so the band
+#: is a factor of two — wide enough for modeling slack, tight enough to
+#: catch a broken retry table (an unbounded loop blows straight past it).
+CALIBRATION_BAND = (0.5, 2.0)
+
+
+def _finding(machine_name: str, rule: str, message: str) -> Finding:
+    return Finding(rule=rule, file=f"fsm:{machine_name}", line=0, message=message)
+
+
+# ----------------------------------------------------------------------
+# Graph checks
+# ----------------------------------------------------------------------
+def _successors(machine: Machine) -> Dict[str, Set[str]]:
+    adjacency: Dict[str, Set[str]] = {name: set() for name in machine.state_names()}
+    for row in machine.transitions:
+        if row.state in adjacency:
+            adjacency[row.state].add(row.target)
+    return adjacency
+
+
+def _reach(adjacency: Dict[str, Set[str]], roots: Iterable[str]) -> Set[str]:
+    seen: Set[str] = set()
+    frontier = [root for root in roots if root in adjacency]
+    while frontier:
+        state = frontier.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        frontier.extend(adjacency.get(state, ()))
+    return seen
+
+
+def _predecessors(machine: Machine) -> Dict[str, Set[str]]:
+    reverse: Dict[str, Set[str]] = {name: set() for name in machine.state_names()}
+    for row in machine.transitions:
+        if row.target in reverse:
+            reverse[row.target].add(row.state)
+    return reverse
+
+
+def verify_machine(machine: Machine) -> List[Finding]:
+    """All graph findings for one machine (empty list = verified)."""
+    findings: List[Finding] = []
+    for error in machine.structural_errors():
+        findings.append(_finding(machine.name, "fsm-structure", error))
+    if findings:
+        # Name resolution failed; the walks below would chase ghosts.
+        return findings
+
+    names = set(machine.state_names())
+    terminals = machine.terminal_names()
+
+    # Terminal states accept no events; an outgoing row is dead by
+    # construction (dispatch() returns before reading the table).
+    for row in machine.transitions:
+        if row.state in terminals:
+            findings.append(
+                _finding(
+                    machine.name,
+                    "fsm-structure",
+                    f"terminal state `{row.state}` has outgoing row "
+                    f"`{row.label()}`",
+                )
+            )
+
+    # Reachability: every declared state is reachable from START.
+    adjacency = _successors(machine)
+    reachable = _reach(adjacency, [machine.start])
+    for name in sorted(names - reachable):
+        findings.append(
+            _finding(
+                machine.name,
+                "fsm-unreachable",
+                f"state `{name}` is unreachable from `{machine.start}`",
+            )
+        )
+
+    # Liveness: every reachable state can still reach a terminal.
+    if not terminals:
+        findings.append(
+            _finding(machine.name, "fsm-liveness", "no terminal state declared")
+        )
+    else:
+        co_reachable = _reach(_predecessors(machine), terminals)
+        for name in sorted(reachable - co_reachable):
+            findings.append(
+                _finding(
+                    machine.name,
+                    "fsm-liveness",
+                    f"state `{name}` cannot reach a terminal state",
+                )
+            )
+
+    # Determinism: first-match semantics make later rows dead once an
+    # unguarded (or identically-guarded) row precedes them; all-guarded
+    # pairs need an ignores entry to be total.
+    rows_by_pair: Dict[Tuple[str, str], List[Transition]] = {}
+    for row in machine.transitions:
+        rows_by_pair.setdefault((row.state, row.event), []).append(row)
+    for (state, event), rows in sorted(rows_by_pair.items()):
+        closed_by: Optional[Transition] = None
+        guards_seen: Set[str] = set()
+        for row in rows:
+            if closed_by is not None:
+                findings.append(
+                    _finding(
+                        machine.name,
+                        "fsm-shadowed",
+                        f"row `{state}--{row.label()}` can never fire: "
+                        f"shadowed by unguarded `{closed_by.label()}`",
+                    )
+                )
+                continue
+            if row.guard is None:
+                closed_by = row
+            elif row.guard in guards_seen:
+                findings.append(
+                    _finding(
+                        machine.name,
+                        "fsm-shadowed",
+                        f"row `{state}--{row.label()}` repeats guard "
+                        f"`{row.guard}` for the same (state, event)",
+                    )
+                )
+            else:
+                guards_seen.add(row.guard)
+        if (
+            closed_by is None
+            and state not in terminals
+            and (state, event) not in machine.ignores
+        ):
+            findings.append(
+                _finding(
+                    machine.name,
+                    "fsm-incomplete",
+                    f"({state}, {event}): every row is guarded and no "
+                    f"ignores entry exists — a dispatch can strand when "
+                    f"all guards fail",
+                )
+            )
+
+    # Unused events are table rot: they document behavior nothing emits.
+    used_events = {row.event for row in machine.transitions}
+    used_events.update(event for _state, event in machine.ignores)
+    for event in machine.events:
+        if event not in used_events:
+            findings.append(
+                _finding(
+                    machine.name,
+                    "fsm-structure",
+                    f"event `{event}` is declared but no row handles it",
+                )
+            )
+    # Same for registered guards/actions nothing references.
+    used_guards = {row.guard for row in machine.transitions if row.guard}
+    used_actions = {row.action for row in machine.transitions if row.action}
+    for guard in sorted(set(machine.guards) - used_guards):
+        findings.append(
+            _finding(
+                machine.name,
+                "fsm-structure",
+                f"guard `{guard}` is registered but unused",
+            )
+        )
+    for action in sorted(set(machine.actions) - used_actions):
+        findings.append(
+            _finding(
+                machine.name,
+                "fsm-structure",
+                f"action `{action}` is registered but unused",
+            )
+        )
+
+    # Bounded amplification: a query-emitting row on a cycle must carry
+    # the name of the budget that caps how often it can fire.
+    reach_from: Dict[str, Set[str]] = {
+        name: _reach(adjacency, adjacency[name]) for name in names
+    }
+    for row in machine.transitions:
+        if row.sends <= 0:
+            continue
+        on_cycle = row.state in reach_from[row.target] or row.state == row.target
+        if on_cycle and row.bound is None:
+            findings.append(
+                _finding(
+                    machine.name,
+                    "fsm-unbounded",
+                    f"query-emitting row `{row.state}--{row.label()}` sits "
+                    f"on a cycle but names no budget (bound=...)",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Worst-case amplification bounds
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WindowBound:
+    """One serial retry window: how many sends fit before it closes."""
+
+    window: float
+    attempts: int
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class ProfileBound:
+    """The computed worst case for one shipped profile."""
+
+    profile: str
+    machine: str
+    servers: int
+    budget: int
+    tasks: int
+    task_breakdown: str
+    windows: Tuple[WindowBound, ...]
+    queries: int
+    paper_attack_queries: Optional[float]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.paper_attack_queries:
+            return None
+        return self.queries / self.paper_attack_queries
+
+    @property
+    def within_band(self) -> Optional[bool]:
+        ratio = self.ratio
+        if ratio is None:
+            return None
+        low, high = CALIBRATION_BAND
+        return low <= ratio <= high
+
+    def as_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "machine": self.machine,
+            "servers": self.servers,
+            "budget": self.budget,
+            "tasks": self.tasks,
+            "task_breakdown": self.task_breakdown,
+            "windows": [
+                {
+                    "window": round(w.window, 6),
+                    "attempts": w.attempts,
+                    "elapsed": round(w.elapsed, 6),
+                }
+                for w in self.windows
+            ],
+            "worst_case_queries": self.queries,
+            "paper_attack_queries": self.paper_attack_queries,
+            "ratio": None if self.ratio is None else round(self.ratio, 3),
+            "within_band": self.within_band,
+        }
+
+    def render(self) -> str:
+        per_window = " + ".join(str(w.attempts) for w in self.windows)
+        text = (
+            f"{self.profile}: worst case {self.queries} target-zone "
+            f"queries per client query ({per_window} per task x "
+            f"{self.tasks} task(s))"
+        )
+        if self.paper_attack_queries is not None:
+            verdict = "within band" if self.within_band else "OUT OF BAND"
+            text += (
+                f"; paper measured ~{self.paper_attack_queries:.0f} "
+                f"under full failure -> {verdict}"
+            )
+        return text
+
+
+def serial_attempts(
+    policy: RetryPolicy, window: float, budget: int
+) -> Tuple[int, float]:
+    """Walk one serial timeout chain: sends that start inside ``window``.
+
+    Mirrors the round loop the QUERYING self-loop executes: each attempt
+    is sent if the clock is still inside the window and the budget has
+    room, then the clock advances by that attempt's timeout.
+    """
+    count = 0
+    elapsed = 0.0
+    while elapsed < window and count < budget:
+        elapsed += policy.timeout_for_attempt(count)
+        count += 1
+    return count, elapsed
+
+
+def worst_case_bound(profile: VerifyProfile) -> ProfileBound:
+    """Worst-case target-zone queries for one client query.
+
+    The adversarial case is the paper's: every target authoritative is
+    unreachable, so every attempt times out and the schedule runs to
+    its deadline. The first window is the resolution deadline; when the
+    policy re-queries the parents on failure (BIND), a second round
+    opens with ``min(0.5 x deadline, hard stop - elapsed)`` remaining —
+    exactly the deadline arithmetic ``_requery_parent`` applies.
+    """
+    policy = profile.policy
+    budget = policy.total_budget(profile.servers)
+    deadline = policy.resolution_deadline
+    first_attempts, first_elapsed = serial_attempts(policy, deadline, budget)
+    windows = [WindowBound(deadline, first_attempts, first_elapsed)]
+    if policy.requery_parent_on_failure:
+        hard_stop = 1.6 * deadline
+        second_window = min(0.5 * deadline, hard_stop - first_elapsed)
+        if second_window > 0:
+            second_attempts, second_elapsed = serial_attempts(
+                policy, second_window, budget
+            )
+            windows.append(
+                WindowBound(second_window, second_attempts, second_elapsed)
+            )
+    per_task = sum(w.attempts for w in windows)
+    return ProfileBound(
+        profile=profile.name,
+        machine=profile.machine.name,
+        servers=profile.servers,
+        budget=budget,
+        tasks=profile.tasks,
+        task_breakdown=profile.task_breakdown,
+        windows=tuple(windows),
+        queries=per_task * profile.tasks,
+        paper_attack_queries=profile.paper_attack_queries,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def verify_profiles(
+    profiles: Optional[Sequence[VerifyProfile]] = None,
+) -> Tuple[List[Finding], List[ProfileBound]]:
+    """Model-check every shipped profile; returns (findings, bounds)."""
+    selected = list(profiles) if profiles is not None else list(shipped_profiles())
+    findings: List[Finding] = []
+    checked: Set[str] = set()
+    for profile in selected:
+        if profile.machine.name not in checked:
+            checked.add(profile.machine.name)
+            findings.extend(verify_machine(profile.machine))
+    bounds = [worst_case_bound(profile) for profile in selected]
+    for bound in bounds:
+        if bound.within_band is False:
+            low, high = CALIBRATION_BAND
+            findings.append(
+                _finding(
+                    bound.profile,
+                    "fsm-calibration",
+                    f"worst-case bound {bound.queries} is outside "
+                    f"[{low}x, {high}x] of the paper's "
+                    f"{bound.paper_attack_queries:.0f} queries (§6)",
+                )
+            )
+    return findings, bounds

@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence, Type
 
 from repro.lint.checkers.determinism import DeterminismChecker
 from repro.lint.checkers.eventloop import EventLoopChecker
+from repro.lint.checkers.fsm import FsmDisciplineChecker
 from repro.lint.checkers.rng_streams import RngStreamsChecker
 from repro.lint.checkers.slots import HotPathSlotsChecker
 from repro.lint.checkers.spec_hygiene import SpecHygieneChecker
@@ -20,11 +21,12 @@ RULES: Dict[str, Type[Checker]] = {
     RngStreamsChecker.rule: RngStreamsChecker,
     HotPathSlotsChecker.rule: HotPathSlotsChecker,
     EventLoopChecker.rule: EventLoopChecker,
+    FsmDisciplineChecker.rule: FsmDisciplineChecker,
 }
 
 
 def all_checkers(rules: Optional[Sequence[str]] = None) -> List[Checker]:
-    """Instantiate the requested checkers (all five by default)."""
+    """Instantiate the requested checkers (all six by default)."""
     if rules is None:
         selected = list(RULES)
     else:

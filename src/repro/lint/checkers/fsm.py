@@ -1,0 +1,110 @@
+"""Rule ``fsm-discipline`` — machine state changes only through tables.
+
+The FSM refactor's whole value is that ``repro verify`` model-checks
+the transition tables statically: reachability, liveness, determinism,
+bounded retry amplification. Those guarantees hold only while the
+tables are the *single* source of control flow, so this rule flags the
+two ways code can silently route around them:
+
+* **Ad-hoc state writes.** Assigning ``fsm_state`` anywhere outside
+  ``repro/fsm/`` bypasses the compiled driver (guards not consulted,
+  actions not run, terminal no-op semantics lost). Actions mutate task
+  data and dispatch events; only ``CompiledMachine`` commits states.
+* **Table mutation.** Appending to / rebinding / item-assigning a
+  ``transitions`` table outside ``repro/fsm/`` changes the machine
+  behind the verifier's back — the graph CI checked is no longer the
+  graph that runs. Tables are frozen module-level data; behavior
+  changes are table edits, reviewed as such.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.driver import Checker, LintContext, SourceFile
+
+FSM_PREFIX = "repro/fsm/"
+
+#: Container methods that mutate a transition table in place.
+MUTATING_METHODS = frozenset(
+    {"append", "extend", "insert", "remove", "pop", "clear", "__setitem__"}
+)
+
+TABLE_NAMES = frozenset({"transitions", "TRANSITIONS", "_table"})
+
+
+def _in_fsm_package(file: SourceFile) -> bool:
+    return FSM_PREFIX in file.rel or file.rel.startswith("fsm/")
+
+
+def _names_table(node: ast.expr) -> bool:
+    """True when the expression refers to a transition table."""
+    if isinstance(node, ast.Name):
+        return node.id in TABLE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in TABLE_NAMES
+    return False
+
+
+class FsmDisciplineChecker(Checker):
+    rule = "fsm-discipline"
+    node_types = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Call)
+
+    def visit(self, ctx: LintContext, file: SourceFile, node: ast.AST) -> None:
+        if _in_fsm_package(file):
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr == "fsm_state":
+                    ctx.report(
+                        self.rule,
+                        file,
+                        node,
+                        "write to `fsm_state` outside `repro/fsm/`; only "
+                        "the compiled driver commits states — dispatch an "
+                        "event instead",
+                    )
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in TABLE_NAMES
+                ):
+                    ctx.report(
+                        self.rule,
+                        file,
+                        node,
+                        f"rebinding transition table `{target.attr}` "
+                        f"outside `repro/fsm/`; tables are frozen data "
+                        f"the verifier model-checks — edit the table "
+                        f"module instead",
+                    )
+                elif isinstance(target, ast.Subscript) and _names_table(
+                    target.value
+                ):
+                    ctx.report(
+                        self.rule,
+                        file,
+                        node,
+                        "item assignment into a transition table outside "
+                        "`repro/fsm/`; tables are frozen data the "
+                        "verifier model-checks",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+                and _names_table(func.value)
+            ):
+                ctx.report(
+                    self.rule,
+                    file,
+                    node,
+                    f"`.{func.attr}()` on a transition table outside "
+                    f"`repro/fsm/`; tables are frozen data the verifier "
+                    f"model-checks — edit the table module instead",
+                )

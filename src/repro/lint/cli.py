@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import subprocess
 import sys
 from typing import List, Optional, Sequence
 
@@ -43,6 +44,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "paths",
         nargs="*",
         help="files/directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files git reports as changed (working tree vs "
+        "HEAD, plus untracked), scoped to the package tree",
     )
     parser.add_argument(
         "--format",
@@ -79,6 +86,48 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def changed_paths() -> List[pathlib.Path]:
+    """Python files git reports as changed, limited to the package tree.
+
+    "Changed" is the union of the working tree diff against ``HEAD``
+    (staged and unstaged) and untracked files; deleted files drop out.
+    Keeps pre-commit runs proportional to the edit, not the tree —
+    findings are per-file, so linting the touched subset reports
+    exactly the findings the full run would report for those files.
+    """
+    target = default_target()
+    root = target.parent.parent
+    names = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            command, cwd=root, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"exit {proc.returncode}"
+            raise LintConfigError(
+                f"--changed: `{' '.join(command)}` failed: {detail}"
+            )
+        names.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+    paths: List[pathlib.Path] = []
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        path = (root / name).resolve()
+        if not path.is_file():
+            continue
+        try:
+            path.relative_to(target)
+        except ValueError:
+            continue
+        paths.append(path)
+    return paths
+
+
 def run_lint(args: argparse.Namespace) -> int:
     try:
         rules = (
@@ -91,8 +140,20 @@ def run_lint(args: argparse.Namespace) -> int:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
 
-    paths = [pathlib.Path(path) for path in args.paths] or [default_target()]
     try:
+        if args.changed:
+            if args.paths:
+                raise LintConfigError(
+                    "--changed and explicit paths are mutually exclusive"
+                )
+            paths = changed_paths()
+            if not paths:
+                print("repro lint: no changed files")
+                return 0
+        else:
+            paths = [pathlib.Path(path) for path in args.paths] or [
+                default_target()
+            ]
         files = discover_files(paths)
     except (LintConfigError, OSError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)

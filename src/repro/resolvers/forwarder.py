@@ -10,10 +10,12 @@ fans out across R1's whole upstream set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.dnscore.message import Message, make_query, make_response
 from repro.dnscore.rrtypes import Rcode
+from repro.fsm import forwarding as fsm
+from repro.fsm.forwarding import COMPILED_FORWARDING
 from repro.netem.topology import Host
 from repro.netem.transport import Network, Packet
 from repro.resolvers.cache import CacheConfig, DnsCache
@@ -33,22 +35,33 @@ class ForwarderConfig:
 
 
 class _Forwarded:
-    """One client query being relayed upstream."""
+    """One client query being relayed, driven by the forwarding FSM."""
 
     __slots__ = (
+        "forwarder",
         "client",
         "client_message",
         "attempt",
         "timer",
         "done",
+        "fsm_state",
+        "event_payload",
     )
 
-    def __init__(self, client: str, client_message: Message) -> None:
+    def __init__(
+        self,
+        forwarder: "ForwardingResolver",
+        client: str,
+        client_message: Message,
+    ) -> None:
+        self.forwarder = forwarder
         self.client = client
         self.client_message = client_message
         self.attempt = 0
-        self.timer = None
+        self.timer: Any = None
         self.done = False
+        self.event_payload: Any = None
+        COMPILED_FORWARDING.begin(self)
 
 
 class ForwardingResolver(Host):
@@ -118,18 +131,17 @@ class ForwardingResolver(Host):
                 response.trace_id = message.trace_id
                 self.send(packet.src, response)
                 return
-        state = _Forwarded(packet.src, message)
-        self._forward(state)
+        state = _Forwarded(self, packet.src, message)
+        self._dispatch(state, fsm.BEGIN)
 
     # ------------------------------------------------------------------
-    def _forward(self, state: _Forwarded) -> None:
-        if state.done:
-            return
+    def _dispatch(
+        self, state: _Forwarded, event: str, payload: Any = None
+    ) -> None:
+        COMPILED_FORWARDING.dispatch(state, event, payload)
+
+    def _send_upstream(self, state: _Forwarded) -> None:
         policy = self.config.retry
-        budget = policy.total_budget(len(self.upstreams))
-        if state.attempt >= budget:
-            self._finish(state, make_response(state.client_message, rcode=Rcode.SERVFAIL, ra=True))
-            return
         if self.config.rotate_upstreams:
             upstream = self.upstreams[state.attempt % len(self.upstreams)]
         else:
@@ -173,7 +185,7 @@ class ForwardingResolver(Host):
         trace_id = state.client_message.trace_id
         if self._trace is not None and trace_id is not None:
             self._trace.emit(trace_id, "timeout", self.name)
-        self._forward(state)
+        self._dispatch(state, fsm.TIMEOUT)
 
     def _on_upstream_response(self, packet: Packet) -> None:
         state = self._pending.pop(packet.message.msg_id, None)
@@ -182,13 +194,22 @@ class ForwardingResolver(Host):
         if state.timer is not None:
             state.timer.cancel()
         upstream_message = packet.message
-        if (
-            upstream_message.rcode == Rcode.SERVFAIL
-            and state.attempt < self.config.retry.total_budget(len(self.upstreams))
-        ):
-            # A SERVFAIL from one upstream: try the next one.
-            self._forward(state)
+        if upstream_message.rcode == Rcode.SERVFAIL:
+            # Budget permitting, a SERVFAIL means "try the next upstream";
+            # otherwise the table's fall-through row relays it.
+            self._dispatch(state, fsm.UPSTREAM_SERVFAIL, upstream_message)
             return
+        self._dispatch(state, fsm.UPSTREAM_FINAL, upstream_message)
+
+    def _respond_servfail(self, state: _Forwarded) -> None:
+        self._finish(
+            state,
+            make_response(state.client_message, rcode=Rcode.SERVFAIL, ra=True),
+        )
+
+    def _relay_response(
+        self, state: _Forwarded, upstream_message: Message
+    ) -> None:
         if (
             self.cache is not None
             and upstream_message.rcode == Rcode.NOERROR

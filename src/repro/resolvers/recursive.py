@@ -14,12 +14,14 @@ these mechanisms: retry amplification, AAAA-for-NS chatter against a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dnscore.message import Message, make_query, make_response
 from repro.dnscore.name import Name
 from repro.dnscore.records import CNAME, NS, ResourceRecord, RRset
 from repro.dnscore.rrtypes import Rcode, RRType
+from repro.fsm import resolution as fsm
+from repro.fsm.resolution import COMPILED_RESOLUTION
 from repro.netem.topology import Host
 from repro.netem.transport import Network, Packet
 from repro.resolvers.cache import CacheConfig, DnsCache
@@ -479,7 +481,15 @@ class RecursiveResolver(Host):
 
 
 class _ResolutionTask:
-    """State machine for resolving one (qname, qtype)."""
+    """One (qname, qtype) resolution, driven by the table-driven FSM.
+
+    The control flow lives in :data:`repro.fsm.resolution
+    .RESOLUTION_MACHINE` — states × events → guarded transitions — and
+    ``repro verify`` model-checks that table statically. The methods
+    here are the transition *actions* (and event classifiers feeding
+    the driver); they never change ``fsm_state`` themselves, which the
+    ``fsm-discipline`` lint rule enforces.
+    """
 
     __slots__ = (
         "r",
@@ -491,6 +501,8 @@ class _ResolutionTask:
         "registry_key",
         "callbacks",
         "done",
+        "fsm_state",
+        "event_payload",
         "trace_id",
         "sends",
         "first_step",
@@ -530,6 +542,8 @@ class _ResolutionTask:
         self.registry_key: tuple = (qname, qtype, require_authoritative)
         self.callbacks: List[OutcomeCallback] = []
         self.done = False
+        self.event_payload: Any = None
+        COMPILED_RESOLUTION.begin(self)
         # Observability: the owning trace (None untraced), total upstream
         # sends for the sends-per-resolution histogram, and a first-pass
         # flag so cache hit/miss counts once per task, not per iteration.
@@ -561,6 +575,9 @@ class _ResolutionTask:
     def add_callback(self, callback: OutcomeCallback) -> None:
         self.callbacks.append(callback)
 
+    def _dispatch(self, event: str, payload: Any = None) -> None:
+        COMPILED_RESOLUTION.dispatch(self, event, payload)
+
     def start(self) -> None:
         if self.r._metrics is not None:
             self.r._m_inflight.inc()
@@ -575,7 +592,7 @@ class _ResolutionTask:
                 self.r.sim.call_later(
                     self.r.config.stale_client_timeout, self._stale_timer
                 )
-        self._step()
+        self._dispatch(fsm.BEGIN)
 
     def _maybe_prefetch(self, now: float) -> None:
         """Kick a background refresh when the hit entry is near expiry."""
@@ -589,23 +606,16 @@ class _ResolutionTask:
             self.r.prefetch(self.qname, self.qtype)
 
     def _stale_timer(self) -> None:
-        if self.done:
-            return
-        stale = self.r.cache.get_stale(self.qname, self.qtype, self.r.sim.now)
-        if stale is not None:
-            if self.r._trace is not None and self.trace_id is not None:
-                self.r._trace.emit(self.trace_id, "stale", self.r.name)
-            self._finish(Outcome(Outcome.OK, list(stale), stale=True))
+        self._dispatch(fsm.STALE_TIMER)
 
     # ------------------------------------------------------------------
-    # Main iteration step: cache, then locate servers, then query.
+    # Main iteration step (the LOOKUP actions): consult the caches and
+    # locate servers, then emit the event describing what was found.
     # ------------------------------------------------------------------
     def _step(self) -> None:
-        if self.done:
-            return
         now = self.r.sim.now
         if now >= self.hard_deadline:
-            self._give_up()
+            self._dispatch(fsm.HARD_DEADLINE)
             return
 
         first_step = self.first_step
@@ -623,7 +633,10 @@ class _ResolutionTask:
                 if first_step and self.r._metrics is not None:
                     self.r._m_cache_hits.value += 1
                 self._maybe_prefetch(now)
-                self._finish(Outcome(Outcome.OK, list(rrset), from_cache=True))
+                self._dispatch(
+                    fsm.CACHE_HIT,
+                    Outcome(Outcome.OK, list(rrset), from_cache=True),
+                )
                 return
             if first_step and self.r._metrics is not None:
                 self.r._m_cache_misses.value += 1
@@ -643,7 +656,7 @@ class _ResolutionTask:
                     )
                 if self.r._metrics is not None:
                     self.r._m_negcache_hits.value += 1
-                self._finish(Outcome(status, from_cache=True))
+                self._dispatch(fsm.NEG_HIT, Outcome(status, from_cache=True))
                 return
 
         if self.qtype != RRType.CNAME:
@@ -651,23 +664,24 @@ class _ResolutionTask:
             if cname is not None:
                 if self.r._trace is not None and self.trace_id is not None:
                     self.r._trace.emit(self.trace_id, "cname", self.r.name)
-                self._follow_cname(cname, [])
+                self.cname_depth += 1
+                self._dispatch(fsm.CNAME, cname)
                 return
 
         cut, ns_targets, addresses, missing = self._locate(now)
         self.skip_cut_once = None
         if addresses:
             self.current_cut = cut
-            self._begin_round(addresses)
+            self._dispatch(fsm.HAVE_SERVERS, addresses)
             return
         if (
             missing
             and self.r.config.chase_ns_addresses
             and self.depth < self.r.config.max_subresolution_depth
         ):
-            self._resolve_missing_addresses(cut, missing)
+            self._dispatch(fsm.NEED_GLUE, (cut, missing))
             return
-        self._exhausted()
+        self._dispatch(fsm.EXHAUSTED)
 
     def _locate(
         self, now: float
@@ -709,32 +723,27 @@ class _ResolutionTask:
         self.round_attempt = 0
         self.round_budget = self.r.config.retry.total_budget(len(unique))
         self.round_active = True
-        self._attempt()
+        self._dispatch(fsm.TRY)
 
-    def _attempt(self) -> None:
-        if self.done:
-            return
-        now = self.r.sim.now
-        if now >= self.deadline or self.round_attempt >= self.round_budget:
-            self._exhausted()
-            return
+    def _send_attempt(self) -> None:
         server = self.round_servers[self.round_attempt % len(self.round_servers)]
         timeout = self.r.config.retry.timeout_for_attempt(self.round_attempt)
         self.round_attempt += 1
         self.r.send_upstream(self, server, timeout)
 
     def handle_timeout(self) -> None:
-        self._attempt()
+        self._dispatch(fsm.TIMEOUT)
 
     # ------------------------------------------------------------------
-    # Response dispatch
+    # Response classification: decide which event the message is, apply
+    # the state-independent cache effects, then dispatch.
     # ------------------------------------------------------------------
     def handle_response(self, message: Message, server: str) -> None:
         if self.done:
             return
         now = self.r.sim.now
         if message.rcode in (Rcode.SERVFAIL, Rcode.REFUSED, Rcode.NOTIMP):
-            self._attempt()
+            self._dispatch(fsm.LAME)
             return
         if message.rcode == Rcode.NXDOMAIN:
             ttl = message.soa_minimum_ttl()
@@ -745,17 +754,17 @@ class _ResolutionTask:
                 ttl if ttl is not None else DEFAULT_NEGATIVE_TTL,
                 now,
             )
-            self._finish(Outcome(Outcome.NXDOMAIN))
+            self._dispatch(fsm.NXDOMAIN, message)
             return
         if message.rcode != Rcode.NOERROR:
-            self._attempt()
+            self._dispatch(fsm.LAME)
             return
 
         answer = message.answer_rrset()
         if answer is not None:
             entry = self.r.cache.put(answer, now, authoritative=message.aa)
             served = entry.rrset.with_ttl(entry.remaining_ttl(now))
-            self._finish(Outcome(Outcome.OK, list(served)))
+            self._dispatch(fsm.ANSWER, Outcome(Outcome.OK, list(served)))
             return
 
         cname_records = [
@@ -766,11 +775,31 @@ class _ResolutionTask:
         if cname_records and self.qtype != RRType.CNAME:
             cname_rrset = RRset(cname_records)
             self.r.cache.put(cname_rrset, now, authoritative=message.aa)
-            self._follow_cname(cname_rrset, list(message.answers))
+            self.cname_depth += 1
+            self._dispatch(fsm.CNAME, cname_rrset)
             return
 
         if message.is_referral():
-            self._handle_referral(message, server)
+            ns_records = [
+                record
+                for record in message.authority
+                if record.rtype == RRType.NS
+            ]
+            cut = ns_records[0].name
+            if not self.qname.is_subdomain_of(cut):
+                self._dispatch(fsm.LAME)  # referral for an unrelated zone
+                return
+            if self.current_cut is not None and not cut.is_subdomain_of(
+                self.current_cut
+            ):
+                self._dispatch(fsm.LAME)  # upward referral
+                return
+            if self.current_cut is not None and cut == self.current_cut:
+                # The cut referring to itself means the server is lame
+                # (it should have answered authoritatively).
+                self._dispatch(fsm.LAME)
+                return
+            self._dispatch(fsm.REFERRAL, (message, ns_records, cut))
             return
 
         # Authoritative empty answer: NODATA.
@@ -783,32 +812,17 @@ class _ResolutionTask:
                 ttl if ttl is not None else DEFAULT_NEGATIVE_TTL,
                 now,
             )
-            self._finish(Outcome(Outcome.NODATA))
+            self._dispatch(fsm.NODATA, message)
             return
 
         # Anything else (empty non-authoritative, upward referral) is lame.
-        self._attempt()
+        self._dispatch(fsm.LAME)
 
-    def _handle_referral(self, message: Message, server: str) -> None:
+    def _accept_referral(
+        self, payload: Tuple[Message, List[ResourceRecord], Name]
+    ) -> None:
+        message, ns_records, cut = payload
         now = self.r.sim.now
-        ns_records = [
-            record for record in message.authority if record.rtype == RRType.NS
-        ]
-        cut = ns_records[0].name
-        if not self.qname.is_subdomain_of(cut):
-            self._attempt()  # referral for an unrelated zone: lame
-            return
-        if self.current_cut is not None and not cut.is_subdomain_of(
-            self.current_cut
-        ):
-            self._attempt()  # upward referral: lame
-            return
-        if self.current_cut is not None and cut == self.current_cut:
-            # The cut referring to itself means the server is lame
-            # (it should have answered authoritatively).
-            self._attempt()
-            return
-
         if self.r._trace is not None and self.trace_id is not None:
             self.r._trace.emit(
                 self.trace_id, "referral", self.r.name, detail=f"cut={cut}"
@@ -827,11 +841,9 @@ class _ResolutionTask:
         self.r.on_delegation_learned(cut, targets, self.depth)
         self._step()
 
-    def _follow_cname(self, cname_rrset: RRset, chain: List[ResourceRecord]) -> None:
-        self.cname_depth += 1
-        if self.cname_depth > self.r.config.max_cname_depth:
-            self._finish(Outcome(Outcome.SERVFAIL))
-            return
+    def _follow_cname(self, cname_rrset: RRset) -> None:
+        # ``cname_depth`` was already advanced by the emitter, so the
+        # table's ``cname_ok`` guard saw the post-increment depth.
         target = cname_rrset.records[0].rdata.target
         self.qname = target
         self.current_cut = None
@@ -839,16 +851,17 @@ class _ResolutionTask:
         self.round_active = False
         self._step()
 
+    def _fail_cname_loop(self) -> None:
+        self._finish(Outcome(Outcome.SERVFAIL))
+
     # ------------------------------------------------------------------
     # Missing NS addresses
     # ------------------------------------------------------------------
-    def _resolve_missing_addresses(self, cut: Name, missing: List[Name]) -> None:
+    def _chase_glue(self, payload: Tuple[Name, List[Name]]) -> None:
+        _cut, missing = payload
         fresh_targets = [
             target for target in missing if target not in self.sub_targets_tried
         ]
-        if not fresh_targets:
-            self._exhausted()
-            return
         self.subresolutions = len(fresh_targets)
         self.sub_failures = 0
         for target in fresh_targets:
@@ -865,60 +878,46 @@ class _ResolutionTask:
         if self.done:
             return
         self.subresolutions -= 1
-        if self.round_active:
-            # A concurrent sub-resolution completed while a query round is
-            # already running on earlier addresses; nothing to do.
-            return
-        if outcome.is_success:
-            # At least one nameserver address is now cached: re-enter.
-            self._step()
-            return
+        self._dispatch(fsm.SUB_OK if outcome.is_success else fsm.SUB_FAIL)
+
+    def _count_sub_failure(self) -> None:
         self.sub_failures += 1
-        if self.subresolutions <= 0:
-            self._step()
+
+    def _sub_chase_failed(self) -> None:
+        # The last outstanding chase failed: re-enter the lookup, which
+        # will fall through to the exhaustion tail if nothing was learned.
+        self.sub_failures += 1
+        self._step()
 
     # ------------------------------------------------------------------
     # Failure handling: parent re-query, serve-stale, SERVFAIL
     # ------------------------------------------------------------------
-    def _exhausted(self) -> None:
-        if self.done:
-            return
+    def _requery_parent(self) -> None:
+        # BIND behavior: go back to the parents for the delegation, then
+        # give the child's servers one more (deadline-bounded) round.
         self.round_active = False
         now = self.r.sim.now
         policy = self.r.config.retry
         cut = self.current_cut
-        if (
-            policy.requery_parent_on_failure
-            and cut is not None
-            and not cut.is_root
-            and cut not in self.requeried_cuts
-            and now < self.hard_deadline
-        ):
-            # BIND behavior: go back to the parents for the delegation,
-            # then give the child's servers one more (deadline-bounded)
-            # round.
-            self.requeried_cuts.add(cut)
-            self.skip_cut_once = cut
-            self.current_cut = None
-            self.deadline = min(
-                self.hard_deadline, now + policy.resolution_deadline * 0.5
-            )
-            self._step()
-            return
-        self._give_up()
+        assert cut is not None  # the can_requery_parent guard checked
+        self.requeried_cuts.add(cut)
+        self.skip_cut_once = cut
+        self.current_cut = None
+        self.deadline = min(
+            self.hard_deadline, now + policy.resolution_deadline * 0.5
+        )
+        self._step()
 
-    def _give_up(self) -> None:
-        """Terminal failure path: serve stale if allowed, else SERVFAIL."""
-        if self.done:
-            return
+    def _finish_stale(self) -> None:
         self.round_active = False
-        if self.r.config.serve_stale:
-            stale = self.r.cache.get_stale(self.qname, self.qtype, self.r.sim.now)
-            if stale is not None:
-                if self.r._trace is not None and self.trace_id is not None:
-                    self.r._trace.emit(self.trace_id, "stale", self.r.name)
-                self._finish(Outcome(Outcome.OK, list(stale), stale=True))
-                return
+        stale = self.r.cache.get_stale(self.qname, self.qtype, self.r.sim.now)
+        assert stale is not None  # the stale guard peeked at the entry
+        if self.r._trace is not None and self.trace_id is not None:
+            self.r._trace.emit(self.trace_id, "stale", self.r.name)
+        self._finish(Outcome(Outcome.OK, list(stale), stale=True))
+
+    def _finish_servfail(self) -> None:
+        self.round_active = False
         if self.r._trace is not None and self.trace_id is not None:
             self.r._trace.emit(
                 self.trace_id,
@@ -928,6 +927,15 @@ class _ResolutionTask:
             )
         self.r.remember_servfail(self.qname, self.qtype)
         self._finish(Outcome(Outcome.SERVFAIL))
+
+    def _finish_answer(self, outcome: Outcome) -> None:
+        self._finish(outcome)
+
+    def _finish_nxdomain(self, message: Message) -> None:
+        self._finish(Outcome(Outcome.NXDOMAIN))
+
+    def _finish_nodata(self, message: Message) -> None:
+        self._finish(Outcome(Outcome.NODATA))
 
     # ------------------------------------------------------------------
     def _finish(self, outcome: Outcome) -> None:

@@ -1,0 +1,204 @@
+"""Unit tests for the table-driven state-machine substrate."""
+
+import pytest
+
+from repro.fsm import (
+    CompiledMachine,
+    Machine,
+    MachineError,
+    State,
+    StuckMachineError,
+    Transition,
+)
+
+
+class Ctx:
+    """A minimal driven context: state slot, payload slot, a log."""
+
+    def __init__(self):
+        self.fsm_state = None
+        self.event_payload = None
+        self.log = []
+        self.armed = False
+
+
+def toy_machine(**overrides):
+    """A small machine exercising guards, ordering, and terminals.
+
+    IDLE --go [armed]--> RUN   (first row: guarded)
+    IDLE --go----------> DONE  (fallback: unguarded)
+    RUN  --go----------> RUN   (self-loop, emits a query)
+    RUN  --stop--------> DONE
+    """
+    spec = dict(
+        name="toy",
+        start="IDLE",
+        states=(State("IDLE"), State("RUN"), State("DONE", terminal=True)),
+        events=("go", "stop"),
+        transitions=(
+            Transition("IDLE", "go", "RUN", guard="armed", action="note"),
+            Transition("IDLE", "go", "DONE", action="note"),
+            Transition("RUN", "go", "RUN", action="note", sends=1, bound="b"),
+            Transition("RUN", "stop", "DONE", action="note"),
+        ),
+        guards={"armed": lambda ctx: ctx.armed},
+        actions={
+            "note": lambda ctx: ctx.log.append(
+                (ctx.fsm_state, ctx.event_payload)
+            )
+        },
+    )
+    spec.update(overrides)
+    return Machine(**spec)
+
+
+def test_begin_places_context_in_start_state():
+    ctx = Ctx()
+    toy_machine().compile().begin(ctx)
+    assert ctx.fsm_state == "IDLE"
+
+
+def test_first_matching_row_fires_in_table_order():
+    compiled = toy_machine().compile()
+
+    armed = Ctx()
+    compiled.begin(armed)
+    armed.armed = True
+    row = compiled.dispatch(armed, "go")
+    assert armed.fsm_state == "RUN"
+    assert row.guard == "armed"
+
+    unarmed = Ctx()
+    compiled.begin(unarmed)
+    row = compiled.dispatch(unarmed, "go")
+    assert unarmed.fsm_state == "DONE"
+    assert row.guard is None
+
+
+def test_target_committed_before_action_runs():
+    # Actions observe the *new* state, so they may re-dispatch.
+    ctx = Ctx()
+    compiled = toy_machine().compile()
+    compiled.begin(ctx)
+    compiled.dispatch(ctx, "go")
+    assert ctx.log == [("DONE", None)]
+
+
+def test_terminal_dispatch_is_a_noop():
+    ctx = Ctx()
+    compiled = toy_machine().compile()
+    compiled.begin(ctx)
+    compiled.dispatch(ctx, "go")  # IDLE -> DONE
+    assert compiled.dispatch(ctx, "go") is None
+    assert compiled.dispatch(ctx, "stop") is None
+    assert ctx.log == [("DONE", None)]
+
+
+def test_unmodeled_event_raises_stuck():
+    ctx = Ctx()
+    compiled = toy_machine().compile()
+    compiled.begin(ctx)
+    with pytest.raises(StuckMachineError) as err:
+        compiled.dispatch(ctx, "stop")  # no (IDLE, stop) row
+    assert "IDLE" in str(err.value) and "stop" in str(err.value)
+
+
+def test_ignores_entry_makes_dispatch_a_noop():
+    machine = toy_machine(ignores=frozenset({("IDLE", "stop")}))
+    ctx = Ctx()
+    compiled = machine.compile()
+    compiled.begin(ctx)
+    assert compiled.dispatch(ctx, "stop") is None
+    assert ctx.fsm_state == "IDLE"
+
+
+def test_all_guards_failing_falls_through_to_ignores():
+    machine = toy_machine(
+        transitions=(
+            Transition("IDLE", "go", "RUN", guard="armed"),
+            Transition("RUN", "go", "RUN"),
+            Transition("RUN", "stop", "DONE"),
+        ),
+        ignores=frozenset({("IDLE", "go"), ("IDLE", "stop")}),
+    )
+    ctx = Ctx()
+    compiled = machine.compile()
+    compiled.begin(ctx)
+    assert compiled.dispatch(ctx, "go") is None  # guard fails, ignored
+    assert ctx.fsm_state == "IDLE"
+
+
+def test_payload_visible_to_action_and_restored_after():
+    ctx = Ctx()
+    compiled = toy_machine().compile()
+    compiled.begin(ctx)
+    ctx.armed = True
+    compiled.dispatch(ctx, "go", payload="outer")
+    assert ctx.log == [("RUN", "outer")]
+    assert ctx.event_payload is None
+
+
+def test_nested_dispatch_restores_outer_payload():
+    holder = {}
+
+    def chain(ctx):
+        ctx.log.append(("outer-sees", ctx.event_payload))
+        holder["compiled"].dispatch(ctx, "stop", payload="inner")
+        ctx.log.append(("outer-restored", ctx.event_payload))
+
+    machine = toy_machine(
+        actions={
+            "note": lambda ctx: ctx.log.append((ctx.fsm_state, ctx.event_payload)),
+            "chain": chain,
+        },
+        transitions=(
+            Transition("IDLE", "go", "RUN", action="chain"),
+            Transition("RUN", "go", "RUN"),
+            Transition("RUN", "stop", "DONE", action="note"),
+        ),
+    )
+    compiled = holder["compiled"] = machine.compile()
+    ctx = Ctx()
+    compiled.begin(ctx)
+    compiled.dispatch(ctx, "go", payload="outer")
+    assert ctx.log == [
+        ("outer-sees", "outer"),
+        ("DONE", "inner"),
+        ("outer-restored", "outer"),
+    ]
+    assert ctx.fsm_state == "DONE"
+
+
+def test_structural_errors_reported_and_compile_refuses():
+    machine = toy_machine(
+        transitions=(
+            Transition("IDLE", "go", "NOWHERE"),
+            Transition("IDLE", "boom", "DONE"),
+            Transition("IDLE", "stop", "DONE", guard="ghost", action="gone"),
+        )
+    )
+    errors = machine.structural_errors()
+    assert any("unknown target state" in e for e in errors)
+    assert any("unknown event" in e for e in errors)
+    assert any("unbound guard `ghost`" in e for e in errors)
+    assert any("unbound action `gone`" in e for e in errors)
+    with pytest.raises(MachineError):
+        machine.compile()
+
+
+def test_row_label_and_rows_lookup():
+    machine = toy_machine()
+    row = machine.rows("IDLE", "go")[0]
+    assert row.label() == "go [armed] / note"
+    assert len(machine.rows("IDLE", "go")) == 2
+    assert machine.rows("DONE", "go") == ()
+
+
+def test_shipped_machines_compile():
+    from repro.fsm.forwarding import COMPILED_FORWARDING, FORWARDING_MACHINE
+    from repro.fsm.resolution import COMPILED_RESOLUTION, RESOLUTION_MACHINE
+
+    assert RESOLUTION_MACHINE.structural_errors() == []
+    assert FORWARDING_MACHINE.structural_errors() == []
+    assert isinstance(COMPILED_RESOLUTION, CompiledMachine)
+    assert isinstance(COMPILED_FORWARDING, CompiledMachine)

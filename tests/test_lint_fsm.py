@@ -1,0 +1,126 @@
+"""Fixture-snippet tests for the ``fsm-discipline`` lint rule."""
+
+import textwrap
+
+from repro.lint import all_checkers, run_checkers
+from repro.lint.driver import parse_source
+
+
+def lint(source, rel="repro/resolvers/fixture.py"):
+    file = parse_source(textwrap.dedent(source), rel)
+    return run_checkers([file], all_checkers(["fsm-discipline"])).findings
+
+
+def test_fsm_state_write_flagged():
+    findings = lint(
+        """
+        def give_up(task):
+            task.fsm_state = "DONE"
+        """
+    )
+    assert len(findings) == 1
+    assert "fsm_state" in findings[0].message
+    assert "dispatch an event" in findings[0].message
+
+
+def test_fsm_state_write_on_self_flagged():
+    findings = lint(
+        """
+        class Task:
+            def _finish(self):
+                self.fsm_state = "DONE"
+        """
+    )
+    assert len(findings) == 1
+
+
+def test_fsm_state_annotated_assignment_flagged():
+    findings = lint(
+        """
+        class Task:
+            def __init__(self):
+                self.fsm_state: str = "START"
+        """
+    )
+    assert len(findings) == 1
+
+
+def test_fsm_state_read_allowed():
+    # Reading the current state (tracing, assertions) is fine; only
+    # writes bypass the driver.
+    findings = lint(
+        """
+        def trace(task):
+            return task.fsm_state
+        """
+    )
+    assert findings == []
+
+
+def test_table_rebind_flagged():
+    findings = lint(
+        """
+        def patch(machine, rows):
+            machine.transitions = rows
+        """
+    )
+    assert len(findings) == 1
+    assert "transitions" in findings[0].message
+
+
+def test_table_item_assignment_flagged():
+    findings = lint(
+        """
+        def patch(machine, row):
+            machine.transitions[0] = row
+        """
+    )
+    assert len(findings) == 1
+
+
+def test_table_append_flagged():
+    findings = lint(
+        """
+        def extend(machine, row):
+            machine.transitions.append(row)
+        """
+    )
+    assert len(findings) == 1
+    assert "append" in findings[0].message
+
+
+def test_unrelated_append_allowed():
+    findings = lint(
+        """
+        def collect(results, item):
+            results.append(item)
+        """
+    )
+    assert findings == []
+
+
+def test_fsm_package_itself_exempt():
+    # The driver commits states and the table modules build tables;
+    # inside repro/fsm/ the rule is silent.
+    findings = lint(
+        """
+        class CompiledMachine:
+            def begin(self, ctx):
+                ctx.fsm_state = self.start
+
+            def build(self, rows):
+                self.transitions = rows
+        """,
+        rel="repro/fsm/machine.py",
+    )
+    assert findings == []
+
+
+def test_pragma_suppression():
+    findings = lint(
+        """
+        def force(task):
+            task.fsm_state = "DONE"  # repro-lint: allow[fsm-discipline]
+        """
+    )
+    assert findings == []
